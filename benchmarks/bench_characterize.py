@@ -1,0 +1,34 @@
+"""Engine bench — the one-call characterization API: full theorem
+batteries per ontology (the headline operation of the library)."""
+
+import pytest
+
+from conftest import record
+
+from repro import AxiomaticOntology, Schema, TGDClass, parse_tgds
+from repro.properties import characterize
+
+UNARY3 = Schema.of(("R", 1), ("P", 1), ("T", 1))
+
+CASES = {
+    "linear": ("R(x) -> T(x)", 1, 0, {TGDClass.LINEAR}),
+    "sigma_g": ("R(x), P(x) -> T(x)", 2, 0, {TGDClass.GUARDED}),
+    "sigma_f": ("R(x), P(y) -> T(x)", 2, 0, {TGDClass.FRONTIER_GUARDED}),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_characterize(benchmark, name):
+    text, n, m, must_contain = CASES[name]
+    ontology = AxiomaticOntology(parse_tgds(text, UNARY3), schema=UNARY3)
+    result = benchmark(
+        characterize, ontology, n, m, max_domain_size=1
+    )
+    classes = set(result.axiomatizable_classes())
+    record(
+        f"characterize[{name}]",
+        f"⊇ {sorted(str(c) for c in must_contain)}",
+        sorted(str(c) for c in classes),
+    )
+    assert must_contain <= classes
+    assert TGDClass.TGD in classes

@@ -1,0 +1,81 @@
+"""Engine bench — the chase: restricted vs oblivious, database scaling,
+and weak-acyclicity analysis cost (the design-choice ablation called out
+in DESIGN.md §4)."""
+
+import pytest
+
+from conftest import record
+
+from repro import Instance, Schema, chase, parse_tgds
+from repro.chase import is_weakly_acyclic
+from repro.lang import Const, Fact
+
+SCHEMA = Schema.of(("E", 2), ("P", 1))
+
+TRANSITIVITY = parse_tgds("E(x, y), E(y, z) -> E(x, z)", SCHEMA)
+INVENTION = parse_tgds(
+    "P(x) -> exists z . E(x, z)\nE(x, y) -> P(y)", SCHEMA
+)
+
+
+def chain(length: int) -> Instance:
+    rel = SCHEMA.relation("E")
+    return Instance.from_facts(
+        SCHEMA,
+        [
+            Fact(rel, (Const(f"v{i}"), Const(f"v{i + 1}")))
+            for i in range(length)
+        ],
+    )
+
+
+@pytest.mark.parametrize("length", [4, 8, 16])
+def test_transitive_closure_scaling(benchmark, length):
+    db = chain(length)
+    result = benchmark(chase, db, TRANSITIVITY)
+    assert result.successful
+    expected = length * (length + 1) // 2
+    assert len(result.instance.tuples("E")) == expected
+
+
+@pytest.mark.parametrize("variant", ["restricted", "oblivious"])
+def test_variant_ablation(benchmark, variant):
+    db = Instance.parse("P(a). P(b). E(a, b)", SCHEMA)
+    rules = parse_tgds("P(x) -> exists z . E(x, z)", SCHEMA)
+    result = benchmark(chase, db, rules, variant=variant)
+    record(
+        f"chase nulls[{variant}]",
+        "restricted ≤ oblivious",
+        result.nulls_created,
+    )
+    assert result.successful
+
+
+@pytest.mark.parametrize("rounds", [2, 4, 8])
+def test_nonterminating_budget_scaling(benchmark, rounds):
+    db = Instance.parse("P(a)", SCHEMA)
+    result = benchmark(chase, db, INVENTION, max_rounds=rounds)
+    assert not result.terminated
+
+
+def test_weak_acyclicity_analysis(benchmark):
+    verdicts = benchmark(
+        lambda: (
+            is_weakly_acyclic(TRANSITIVITY),
+            is_weakly_acyclic(INVENTION),
+        )
+    )
+    record("weak acyclicity (trans, invention)", "(True, False)", verdicts)
+    assert verdicts == (True, False)
+
+
+def test_egd_merging(benchmark):
+    from repro.lang import parse_egd
+
+    rules = parse_tgds("P(x) -> exists z . E(x, z)", SCHEMA) + (
+        parse_egd("E(x, y), E(x, w) -> y = w", SCHEMA),
+    )
+    db = Instance.parse("P(a). P(b). E(a, c). E(b, d)", SCHEMA)
+    result = benchmark(chase, db, rules)
+    assert result.successful
+    assert len(result.instance.tuples("E")) == 2

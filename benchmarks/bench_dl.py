@@ -1,0 +1,62 @@
+"""Engine bench — the description-logic front-end: TBox translation,
+ABox chasing, and OMQA over DL-Lite as TBox size grows."""
+
+import pytest
+
+from conftest import record
+
+from repro import chase
+from repro.dl import (
+    AtomicConcept as A,
+    ConceptInclusion,
+    Exists,
+    Role,
+    TBox,
+    abox_instance,
+)
+from repro.omqa import CQ, rewrite_ucq
+
+
+def chain_tbox(depth: int) -> TBox:
+    """A0 ⊑ ∃R1.A1, A1 ⊑ ∃R2.A2, ... — an invention chain."""
+    axioms = []
+    for i in range(depth):
+        axioms.append(
+            ConceptInclusion(
+                A(f"C{i}"), Exists(Role(f"r{i}"), A(f"C{i + 1}"))
+            )
+        )
+        axioms.append(
+            ConceptInclusion(Exists(Role(f"r{i}").inverse()), A(f"C{i + 1}"))
+        )
+    return TBox(axioms)
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8])
+def test_translation(benchmark, depth):
+    tbox = chain_tbox(depth)
+    deps = benchmark(tbox.dependencies)
+    assert len(deps) == 2 * depth
+    assert tbox.is_dl_lite()
+
+
+@pytest.mark.parametrize("depth", [2, 4])
+def test_abox_chase(benchmark, depth):
+    tbox = chain_tbox(depth)
+    db = abox_instance([("C0", "start")], tbox.schema())
+    result = benchmark(chase, db, tbox.dependencies())
+    assert result.successful
+    assert result.nulls_created == depth
+
+
+@pytest.mark.parametrize("depth", [2, 3])
+def test_dl_lite_query_rewriting(benchmark, depth):
+    tbox = chain_tbox(depth)
+    query = CQ.parse(f"x <- C{depth}(x)", tbox.schema())
+    result = benchmark(rewrite_ucq, query, tbox.tgds())
+    record(
+        f"DL-Lite UCQ size at depth {depth}",
+        "grows with depth",
+        len(result.ucq),
+    )
+    assert result.complete

@@ -1,0 +1,53 @@
+"""E10 — Algorithm 2 (`FG-to-G`), Theorem 9.2.
+
+Times the decision procedure on positive and negative inputs; the
+guarded candidate space is exponentially larger than Algorithm 1's
+linear space (compare with bench_e9), matching the bound gap of
+Section 9.2."""
+
+import pytest
+
+from conftest import record
+
+from repro import Schema, parse_tgds
+from repro.rewriting import RewriteStatus, frontier_guarded_to_guarded
+
+UNARY3 = Schema.of(("R", 1), ("P", 1), ("T", 1))
+
+
+def test_positive_hidden_guardedness(benchmark):
+    sigma = parse_tgds("R(x) -> P(x)\nR(x), P(y) -> T(x)", UNARY3)
+    result = benchmark(frontier_guarded_to_guarded, sigma, schema=UNARY3)
+    record("E10 FG-to-G[guardable]", "success", result.status)
+    assert result.status == RewriteStatus.SUCCESS
+
+
+def test_negative_separation_witness(benchmark):
+    sigma = parse_tgds("R(x), P(y) -> T(x)", UNARY3)
+    result = benchmark(frontier_guarded_to_guarded, sigma, schema=UNARY3)
+    record("E10 FG-to-G[Σ_F]", "failure(⊥)", result.status)
+    assert result.status == RewriteStatus.FAILURE
+
+
+def test_already_guarded_input(benchmark):
+    sigma = parse_tgds("R(x), P(x) -> T(x)", UNARY3)
+    result = benchmark(frontier_guarded_to_guarded, sigma, schema=UNARY3)
+    assert result.succeeded
+
+
+@pytest.mark.parametrize("extra_cap", [0, 1, 2])
+def test_body_cap_ablation(benchmark, extra_cap):
+    # how much of the guarded body space the search visits
+    sigma = parse_tgds("R(x), P(y) -> T(x)", UNARY3)
+    result = benchmark(
+        frontier_guarded_to_guarded,
+        sigma,
+        schema=UNARY3,
+        max_extra_body_atoms=extra_cap,
+    )
+    record(
+        f"E10 candidates at body cap {extra_cap}",
+        "grows",
+        result.candidates_considered,
+    )
+    assert result.status == RewriteStatus.FAILURE

@@ -1,0 +1,71 @@
+"""E11 — the Section 9.2 counting bounds vs exact canonical counts.
+
+Prints the bound / exact / ratio table for linear and guarded candidate
+spaces across (|S|, n, m) and times the exact enumeration."""
+
+import pytest
+
+from conftest import record
+
+from repro import Schema
+from repro.rewriting import (
+    exact_guarded_count,
+    exact_linear_count,
+    guarded_candidate_bound,
+    linear_candidate_bound,
+)
+
+SCHEMAS = {
+    "1-unary": Schema.of(("R", 1)),
+    "3-unary": Schema.of(("R", 1), ("P", 1), ("T", 1)),
+    "1-binary": Schema.of(("E", 2)),
+}
+
+CASES = [
+    ("1-unary", 1, 0),
+    ("1-unary", 1, 1),
+    ("3-unary", 1, 0),
+    ("3-unary", 1, 1),
+    ("1-binary", 2, 0),
+    ("1-binary", 1, 1),
+]
+
+
+@pytest.mark.parametrize("schema_name,n,m", CASES)
+def test_linear_bound_vs_exact(benchmark, schema_name, n, m):
+    schema = SCHEMAS[schema_name]
+    exact = benchmark(exact_linear_count, schema, n, m)
+    bound = linear_candidate_bound(schema, n, m)
+    record(
+        f"E11 linear[{schema_name} n={n} m={m}]",
+        f"≤ {bound}",
+        f"exact={exact} ratio={exact / bound:.3f}",
+    )
+    assert 0 < exact <= bound
+
+
+@pytest.mark.parametrize("schema_name,n,m", CASES[:4])
+def test_guarded_bound_vs_exact(benchmark, schema_name, n, m):
+    schema = SCHEMAS[schema_name]
+    exact = benchmark(exact_guarded_count, schema, n, m)
+    bound = guarded_candidate_bound(schema, n, m)
+    record(
+        f"E11 guarded[{schema_name} n={n} m={m}]",
+        f"≤ {bound}",
+        f"exact={exact} ratio={exact / bound:.3f}",
+    )
+    assert 0 < exact <= bound
+
+
+def test_guarded_space_dominates_linear(benchmark):
+    schema = SCHEMAS["3-unary"]
+
+    def both():
+        return (
+            exact_linear_count(schema, 1, 0),
+            exact_guarded_count(schema, 1, 0),
+        )
+
+    linear, guarded = benchmark(both)
+    record("E11 guarded ≥ linear count", "True", (linear, guarded))
+    assert guarded >= linear

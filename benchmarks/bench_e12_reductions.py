@@ -1,0 +1,69 @@
+"""E12 — the Appendix F lower-bound reductions.
+
+Times the Σ' construction and the end-to-end decision of the produced
+rewritability instances (Σ ⊨ ∃Q iff rewritable)."""
+
+import pytest
+
+from conftest import record
+
+from repro import Schema, parse_tgds
+from repro.reductions import (
+    reduce_fgtgd_atomic_qa_to_guarded_rewrite,
+    reduce_gtgd_atomic_qa_to_linear_rewrite,
+)
+from repro.rewriting import (
+    RewriteStatus,
+    frontier_guarded_to_guarded,
+    guarded_to_linear,
+)
+
+SCHEMA = Schema.of(("A", 1), ("Q", 1))
+SIGMA_YES = parse_tgds("-> exists z . A(z)\nA(x) -> Q(x)", SCHEMA)
+SIGMA_NO = parse_tgds("A(x) -> Q(x)", SCHEMA)
+
+
+def test_construction_cost(benchmark):
+    red = benchmark(
+        reduce_gtgd_atomic_qa_to_linear_rewrite,
+        SIGMA_YES,
+        SCHEMA.relation("Q"),
+    )
+    assert len(red.sigma_prime) == len(SIGMA_YES) * 2 + 3
+
+
+@pytest.mark.parametrize(
+    "label,sigma,expected",
+    [
+        ("yes", SIGMA_YES, RewriteStatus.SUCCESS),
+        ("no", SIGMA_NO, RewriteStatus.FAILURE),
+    ],
+)
+def test_decide_linear_rewrite_instance(benchmark, label, sigma, expected):
+    red = reduce_gtgd_atomic_qa_to_linear_rewrite(sigma, SCHEMA.relation("Q"))
+    result = benchmark(
+        guarded_to_linear, red.sigma_prime, schema=red.schema
+    )
+    record(f"E12 GTGD→LTGD reduction[{label}]", expected, result.status)
+    assert result.status == expected
+
+
+@pytest.mark.parametrize(
+    "label,sigma,expected",
+    [
+        ("yes", SIGMA_YES, RewriteStatus.SUCCESS),
+        ("no", SIGMA_NO, RewriteStatus.FAILURE),
+    ],
+)
+def test_decide_guarded_rewrite_instance(benchmark, label, sigma, expected):
+    red = reduce_fgtgd_atomic_qa_to_guarded_rewrite(
+        sigma, SCHEMA.relation("Q")
+    )
+    result = benchmark(
+        frontier_guarded_to_guarded,
+        red.sigma_prime,
+        schema=red.schema,
+        max_extra_body_atoms=1,
+    )
+    record(f"E12 FGTGD→GTGD reduction[{label}]", expected, result.status)
+    assert result.status == expected

@@ -1,0 +1,48 @@
+"""E1 — Lemma 3.2: every TGD-ontology is critical.
+
+Regenerates the claim over the curated scenarios and random tgd sets,
+and times k-criticality checking as k grows (the check is a single
+satisfaction test on the k-critical instance)."""
+
+import pytest
+
+from conftest import record
+
+from repro import AxiomaticOntology, TGDClass, critical_instance
+from repro.properties import criticality_report, is_k_critical
+from repro.workloads import all_scenarios, random_schema, random_tgd_set
+
+SCENARIOS = {s.name: s for s in all_scenarios()}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_criticality(benchmark, name):
+    scenario = SCENARIOS[name]
+    ontology = AxiomaticOntology(scenario.tgds, schema=scenario.schema)
+    report = benchmark(criticality_report, ontology, 3)
+    record(f"E1 criticality[{name}] k<=3", "holds", report.holds)
+    assert report.holds
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4])
+def test_k_critical_scaling(benchmark, k):
+    scenario = SCENARIOS["company-guarded"]
+    ontology = AxiomaticOntology(scenario.tgds, schema=scenario.schema)
+    result = benchmark(is_k_critical, ontology, k)
+    assert result
+
+
+@pytest.mark.parametrize(
+    "cls", [TGDClass.FULL, TGDClass.LINEAR, TGDClass.GUARDED, TGDClass.TGD]
+)
+def test_random_sets_critical(benchmark, rng, cls):
+    schema = random_schema(rng, relations=3, max_arity=2)
+    tgds = random_tgd_set(rng, schema, 5, cls=cls)
+    crit = critical_instance(schema, 2)
+
+    def check():
+        return all(t.satisfied_by(crit) for t in tgds)
+
+    result = benchmark(check)
+    record(f"E1 criticality[random {cls}]", "holds", result)
+    assert result

@@ -1,0 +1,69 @@
+"""E5 — Example 5.2: the Makowsky–Vardi counterexample.
+
+Regenerates the paper's exact computation (oblivious extension breaks
+σ, non-oblivious preserves it) and times both extension constructions
+as instances grow."""
+
+import pytest
+
+from conftest import record
+
+from repro import AxiomaticOntology
+from repro.instances import (
+    non_oblivious_duplicating_extension,
+    oblivious_duplicating_extension,
+)
+from repro.lang import Const
+from repro.properties import duplicating_extension_closure_report
+from repro.workloads import example_5_2, random_instance, random_schema
+
+SCENARIO = example_5_2()
+SIGMA = SCENARIO.tgds[0]
+INSTANCE = SCENARIO.sample
+
+
+def test_oblivious_extension_violates_sigma(benchmark):
+    ext = benchmark(
+        oblivious_duplicating_extension, INSTANCE, Const("a"), Const("c")
+    )
+    satisfied = SIGMA.satisfied_by(ext)
+    record("E5 oblivious ext ⊨ σ", "False", satisfied)
+    assert not satisfied
+
+
+def test_non_oblivious_extension_preserves_sigma(benchmark):
+    ext = benchmark(
+        non_oblivious_duplicating_extension, INSTANCE, Const("a"), Const("c")
+    )
+    satisfied = SIGMA.satisfied_by(ext)
+    record("E5 non-oblivious ext ⊨ σ", "True", satisfied)
+    assert satisfied
+
+
+@pytest.mark.parametrize("size", [4, 8, 16])
+def test_extension_construction_scaling(benchmark, rng, size):
+    schema = random_schema(rng, relations=2, max_arity=2)
+    instance = random_instance(rng, schema, size, density=0.4)
+    element = sorted(instance.domain, key=repr)[0]
+    ext = benchmark(
+        non_oblivious_duplicating_extension, instance, element, Const("@new")
+    )
+    assert len(ext.domain) == size + 1
+
+
+def test_closure_report_oblivious_fails(benchmark):
+    ontology = AxiomaticOntology((SIGMA,), schema=SCENARIO.schema)
+    report = benchmark(
+        duplicating_extension_closure_report, ontology, 2, oblivious=True
+    )
+    record("E5 closure under oblivious ext", "FAILS", report.holds)
+    assert not report.holds
+
+
+def test_closure_report_non_oblivious_holds(benchmark):
+    ontology = AxiomaticOntology((SIGMA,), schema=SCENARIO.schema)
+    report = benchmark(
+        duplicating_extension_closure_report, ontology, 2, oblivious=False
+    )
+    record("E5 closure under non-oblivious ext", "holds", report.holds)
+    assert report.holds

@@ -1,0 +1,30 @@
+"""E7 + E8 — the Section 9.1 semantic separations.
+
+E7: LTGD ⊊ GTGD via Σ_G = {R(x), P(x) → T(x)} and I = {R(c), P(c)}.
+E8: GTGD ⊊ FGTGD via Σ_F = {R(x), P(y) → T(x)} and I = {R(c), P(d)}.
+Both must *separate* — the ontology embeds in the mode's sense into a
+non-member."""
+
+import pytest
+
+from conftest import record
+
+from repro.rewriting import (
+    guarded_vs_frontier_guarded_witness,
+    linear_vs_guarded_witness,
+    verify_separation,
+)
+
+WITNESSES = {
+    "E7 linear-vs-guarded": linear_vs_guarded_witness,
+    "E8 guarded-vs-frontier-guarded": guarded_vs_frontier_guarded_witness,
+}
+
+
+@pytest.mark.parametrize("label", sorted(WITNESSES))
+def test_separation(benchmark, label):
+    witness = WITNESSES[label]()
+    outcome = benchmark(verify_separation, witness)
+    record(f"{label}", "separates", outcome.separation_holds)
+    assert outcome.separation_holds
+    assert outcome.embeddable and not outcome.member

@@ -1,0 +1,45 @@
+"""E9 — Algorithm 1 (`G-to-L`), Theorem 9.1.
+
+Times the full decision procedure on positive and negative inputs and
+sweeps the schema size (the driver of the Theorem 9.1 search-space
+bounds)."""
+
+import pytest
+
+from conftest import record
+
+from repro import Schema, parse_tgds
+from repro.rewriting import RewriteStatus, guarded_to_linear
+
+UNARY3 = Schema.of(("R", 1), ("P", 1), ("T", 1))
+
+
+def test_positive_hidden_linearity(benchmark):
+    sigma = parse_tgds("R(x) -> P(x)\nR(x), P(x) -> T(x)", UNARY3)
+    result = benchmark(guarded_to_linear, sigma, schema=UNARY3)
+    record("E9 G-to-L[linearizable]", "success", result.status)
+    assert result.status == RewriteStatus.SUCCESS
+
+
+def test_negative_separation_witness(benchmark):
+    sigma = parse_tgds("R(x), P(x) -> T(x)", UNARY3)
+    result = benchmark(guarded_to_linear, sigma, schema=UNARY3)
+    record("E9 G-to-L[Σ_G]", "failure(⊥)", result.status)
+    assert result.status == RewriteStatus.FAILURE
+
+
+@pytest.mark.parametrize("relations", [2, 3, 4])
+def test_schema_size_sweep(benchmark, relations):
+    names = [("R", 1), ("T", 1), ("P", 1), ("Q", 1)][:relations]
+    schema = Schema.of(*names)
+    sigma = parse_tgds("R(x) -> T(x)", schema)
+    result = benchmark(guarded_to_linear, sigma, schema=schema)
+    assert result.succeeded
+
+
+def test_existential_candidates(benchmark):
+    schema = Schema.of(("E", 2), ("V", 1))
+    sigma = parse_tgds("V(x) -> exists z . E(x, z)", schema)
+    result = benchmark(guarded_to_linear, sigma, schema=schema)
+    record("E9 G-to-L[existential linear]", "success", result.status)
+    assert result.succeeded

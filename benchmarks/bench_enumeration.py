@@ -1,0 +1,65 @@
+"""Engine bench — candidate enumeration, with the two DESIGN.md §4
+ablations: canonical dedup factor and connected-heads-only restriction."""
+
+import pytest
+
+from conftest import record
+
+from repro import Schema
+from repro.dependencies import (
+    enumerate_guarded_tgds,
+    enumerate_linear_tgds,
+)
+
+UNARY3 = Schema.of(("R", 1), ("P", 1), ("T", 1))
+BINARY = Schema.of(("E", 2))
+
+
+@pytest.mark.parametrize("n,m", [(1, 0), (1, 1), (2, 1)])
+def test_linear_enumeration(benchmark, n, m):
+    count = benchmark(
+        lambda: sum(1 for __ in enumerate_linear_tgds(BINARY, n, m))
+    )
+    record(f"enum linear[E/2 n={n} m={m}]", ">0", count)
+    assert count > 0
+
+
+@pytest.mark.parametrize("n,m", [(1, 0), (1, 1)])
+def test_guarded_enumeration(benchmark, n, m):
+    count = benchmark(
+        lambda: sum(1 for __ in enumerate_guarded_tgds(UNARY3, n, m))
+    )
+    assert count > 0
+
+
+def test_connected_heads_ablation(benchmark):
+    # connected-only is the default; disconnected heads blow the space up
+    # without adding logical content (head decomposition).
+    def both():
+        connected = sum(
+            1 for __ in enumerate_linear_tgds(BINARY, 1, 1)
+        )
+        free = sum(
+            1
+            for __ in enumerate_linear_tgds(
+                BINARY, 1, 1, connected_heads_only=False, max_head_atoms=3
+            )
+        )
+        return connected, free
+
+    connected, free = benchmark(both)
+    record("enum connected vs free heads", "connected < free", (connected, free))
+    assert connected < free
+
+
+def test_head_cap_ablation(benchmark):
+    def both():
+        capped = sum(
+            1 for __ in enumerate_linear_tgds(BINARY, 2, 1, max_head_atoms=1)
+        )
+        full = sum(1 for __ in enumerate_linear_tgds(BINARY, 2, 1))
+        return capped, full
+
+    capped, full = benchmark(both)
+    record("enum head cap 1 vs full", "capped < full", (capped, full))
+    assert capped < full

@@ -1,0 +1,80 @@
+"""Engine bench — homomorphism search: query matching, instance-level
+homs, isomorphism, and core computation as instances grow."""
+
+import pytest
+
+from repro import Instance, Schema
+from repro.homomorphisms import (
+    are_isomorphic,
+    core,
+    find_homomorphism,
+    all_extensions_of,
+)
+from repro.lang import Const, Fact, parse_atoms
+
+SCHEMA = Schema.of(("E", 2),)
+REL = SCHEMA.relation("E")
+
+
+def cycle(length: int, prefix: str = "v") -> Instance:
+    return Instance.from_facts(
+        SCHEMA,
+        [
+            Fact(REL, (Const(f"{prefix}{i}"), Const(f"{prefix}{(i + 1) % length}")))
+            for i in range(length)
+        ],
+    )
+
+
+def clique(size: int) -> Instance:
+    return Instance.from_facts(
+        SCHEMA,
+        [
+            Fact(REL, (Const(f"k{i}"), Const(f"k{j}")))
+            for i in range(size)
+            for j in range(size)
+            if i != j
+        ],
+    )
+
+
+@pytest.mark.parametrize("length", [6, 9, 12])
+def test_cycle_to_triangle(benchmark, length):
+    # C_{3k} wraps around C_3.
+    source = cycle(length)
+    target = cycle(3, prefix="t")
+    hom = benchmark(find_homomorphism, source, target)
+    assert hom is not None
+
+
+@pytest.mark.parametrize("length", [5, 7])
+def test_odd_cycle_to_triangle_fails(benchmark, length):
+    source = cycle(length)
+    target = cycle(3, prefix="t")
+    hom = benchmark(find_homomorphism, source, target)
+    assert hom is None  # directed C_m -> C_3 needs 3 | m
+
+
+@pytest.mark.parametrize("size", [3, 4, 5])
+def test_path_query_on_clique(benchmark, size):
+    atoms = parse_atoms("E(x, y), E(y, z), E(z, w)", SCHEMA)
+    target = clique(size)
+    count = benchmark(lambda: sum(1 for __ in all_extensions_of(atoms, target)))
+    assert count > 0
+
+
+@pytest.mark.parametrize("length", [4, 6, 8])
+def test_isomorphism_of_cycles(benchmark, length):
+    result = benchmark(
+        are_isomorphic, cycle(length), cycle(length, prefix="w")
+    )
+    assert result
+
+
+def test_core_of_cycle_with_pendant(benchmark):
+    base = cycle(3)
+    pendant = base.add_facts([Fact(REL, (Const("x"), Const("v0")))])
+    # the pendant edge cannot retract into the triangle (no hom maps x
+    # anywhere consistent... actually x can map to v2 since E(v2, v0)!).
+    reduced = benchmark(core, pendant)
+    assert reduced.fact_count() == 3

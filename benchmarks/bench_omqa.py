@@ -1,0 +1,68 @@
+"""Engine bench — OMQA: chase-based certain answers vs UCQ rewriting
+(the materialize-vs-rewrite trade-off the OMQA literature measures)."""
+
+import pytest
+
+from conftest import record
+
+from repro import Instance, Schema, parse_tgds
+from repro.lang import Const, Fact
+from repro.omqa import CQ, certain_answers, rewrite_ucq
+
+SCHEMA = Schema.of(
+    ("Enrolled", 2), ("Student", 1), ("HasTutor", 2), ("Lecturer", 1)
+)
+SIGMA = parse_tgds(
+    """
+    Enrolled(s, c) -> Student(s)
+    Student(s) -> exists t . HasTutor(s, t)
+    HasTutor(s, t) -> Lecturer(t)
+    """,
+    SCHEMA,
+)
+QUERY = CQ.parse("s <- HasTutor(s, t), Lecturer(t)", SCHEMA)
+
+
+def database(students: int) -> Instance:
+    rel = SCHEMA.relation("Enrolled")
+    return Instance.from_facts(
+        SCHEMA,
+        [
+            Fact(rel, (Const(f"s{i}"), Const(f"c{i % 3}")))
+            for i in range(students)
+        ],
+    )
+
+
+@pytest.mark.parametrize("students", [5, 15, 30])
+def test_certain_answers_via_chase(benchmark, students):
+    db = database(students)
+    answers = benchmark(certain_answers, db, SIGMA, QUERY)
+    assert len(answers) == students
+
+
+def test_rewriting_offline_cost(benchmark):
+    result = benchmark(rewrite_ucq, QUERY, SIGMA)
+    record("omqa rewriting size", "small UCQ", len(result.ucq))
+    assert result.complete
+
+
+@pytest.mark.parametrize("students", [5, 15, 30])
+def test_certain_answers_via_rewriting(benchmark, students):
+    db = database(students)
+    ucq = rewrite_ucq(QUERY, SIGMA).ucq  # offline, excluded from timing
+    answers = benchmark(ucq.evaluate, db)
+    assert len(answers) == students
+
+
+def test_routes_agree(benchmark):
+    db = database(10)
+
+    def both():
+        chased = certain_answers(db, SIGMA, QUERY)
+        rewritten = rewrite_ucq(QUERY, SIGMA).ucq.evaluate(db)
+        return chased, rewritten
+
+    chased, rewritten = benchmark(both)
+    record("omqa chase == rewriting", "True", chased == rewritten)
+    assert chased == rewritten

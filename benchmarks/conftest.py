@@ -1,0 +1,21 @@
+"""Shared benchmark helpers.
+
+Every experiment bench asserts the *shape* of the paper's claim (who
+wins / what holds) in addition to timing it, and prints a row so the
+tee'd benchmark log doubles as the EXPERIMENTS.md evidence.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+def record(label: str, expected: str, measured: object) -> None:
+    print(f"[experiment] {label:58s} expected={expected:12s} measured={measured}")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(42)

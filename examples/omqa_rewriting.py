@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Ontology-mediated query answering, two ways.
+
+The paper's introduction motivates tgds through OMQA: answering queries
+over a database *together with* an ontology, under certain-answer
+semantics.  This example answers the same queries
+
+1. by **chasing** the database and evaluating (materialization), and
+2. by **UCQ rewriting** (the linear-tgd first-order rewritability
+   route) — evaluating a rewritten union directly on the raw database,
+
+and checks that both agree.  It also shows where rewriting refuses to
+cross an invention: an answer variable can never be bound to an invented
+(null) value.
+
+Run:  python examples/omqa_rewriting.py
+"""
+
+from repro import Instance, Schema, parse_tgds
+from repro.lang import format_instance
+from repro.omqa import CQ, certain_answers, rewrite_ucq
+
+
+def main() -> None:
+    schema = Schema.of(
+        ("Enrolled", 2), ("Student", 1), ("Course", 1),
+        ("HasTutor", 2), ("Lecturer", 1), ("Teaches", 2),
+    )
+    sigma = parse_tgds(
+        """
+        Enrolled(s, c) -> Student(s)
+        Enrolled(s, c) -> Course(c)
+        Teaches(l, c) -> Lecturer(l)
+        Student(s) -> exists t . HasTutor(s, t)
+        HasTutor(s, t) -> Lecturer(t)
+        """,
+        schema,
+    )
+    db = Instance.parse(
+        "Enrolled(ada, logic). Enrolled(bob, databases). "
+        "Teaches(tarski, logic)",
+        schema,
+    )
+    print("Database:")
+    print(format_instance(db))
+
+    queries = [
+        CQ.parse("s <- Student(s)", schema),
+        CQ.parse("s <- HasTutor(s, t), Lecturer(t)", schema),
+        CQ.parse("t <- Lecturer(t)", schema),
+        CQ.parse("c <- Course(c), Teaches(l, c)", schema),
+    ]
+
+    for query in queries:
+        print(f"\n=== q: {query} ===")
+        via_chase = certain_answers(db, sigma, query)
+        result = rewrite_ucq(query, sigma)
+        via_rewriting = result.ucq.evaluate(db)
+        print(f"UCQ rewriting ({len(result.ucq)} disjuncts, "
+              f"complete={result.complete}):")
+        for disjunct in result.ucq:
+            print(f"    {disjunct}")
+        print("certain answers (chase):    ",
+              sorted(map(str, via_chase)) or "(none)")
+        print("certain answers (rewriting):",
+              sorted(map(str, via_rewriting)) or "(none)")
+        assert via_chase == via_rewriting, "the two routes must agree"
+
+    print(
+        "\nNote the third query: tutors are invented by the ontology, so "
+        "no tutor is a certain answer — and the rewriting correctly "
+        "refuses to unify the answer variable with the invention."
+    )
+
+
+if __name__ == "__main__":
+    main()

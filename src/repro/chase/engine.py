@@ -1,0 +1,247 @@
+"""The chase procedure.
+
+Given an instance and a set of tgds/egds, the chase repairs violations by
+inserting facts with fresh labeled nulls (tgds) or merging elements
+(egds), producing a *universal* model when it terminates: a model of Σ
+containing the input that maps homomorphically into every such model.
+This is the engine behind all entailment checks (Section 9.2 reduces
+``Σ ⊨ σ`` to chasing a frozen body — Maier, Mendelzon, Sagiv).
+
+Two variants:
+
+* **restricted** (standard) — a trigger fires only if the head has no
+  extension in the current instance;
+* **oblivious** — every trigger fires exactly once, regardless.
+
+General tgd sets need not terminate; the engine takes round/fact budgets
+and reports whether it reached a fixpoint.  Use
+:func:`repro.chase.termination.is_weakly_acyclic` for a static
+termination guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from ..dependencies.denial import DenialConstraint
+from ..dependencies.egd import EGD
+from ..dependencies.tgd import TGD
+from ..homomorphisms.search import all_extensions_of, find_extension, satisfies_atoms
+from ..instances.instance import Instance
+from ..lang.schema import Relation, Schema
+from ..lang.terms import FreshNulls, Null, Var, element_sort_key
+
+__all__ = ["ChaseResult", "ChaseError", "chase"]
+
+Dependency = Union[TGD, EGD, DenialConstraint]
+
+
+class ChaseError(ValueError):
+    """Raised on invalid chase configuration."""
+
+
+@dataclass(frozen=True)
+class ChaseResult:
+    """The outcome of a chase run.
+
+    ``terminated`` — a fixpoint was reached within the budget.
+    ``failed`` — an egd required two distinct constants to be equal.
+    When ``failed`` is true, ``instance`` is the state at failure time.
+    """
+
+    instance: Instance
+    terminated: bool
+    failed: bool
+    rounds: int
+    fired: int
+    nulls_created: int
+
+    @property
+    def successful(self) -> bool:
+        return self.terminated and not self.failed
+
+
+class _State:
+    """Mutable chase working state."""
+
+    def __init__(self, instance: Instance, schema: Schema):
+        self.schema = schema
+        self.domain: set = set(instance.domain)
+        self.relations: dict[Relation, set[tuple]] = {
+            rel: set(
+                instance.tuples(rel.name)
+                if rel.name in instance.schema
+                else ()
+            )
+            for rel in schema
+        }
+
+    def snapshot(self) -> Instance:
+        return Instance(self.schema, self.domain, self.relations)
+
+    def fact_count(self) -> int:
+        return sum(len(tuples) for tuples in self.relations.values())
+
+    def add(self, relation: Relation, tup: tuple) -> bool:
+        self.domain.update(tup)
+        before = len(self.relations[relation])
+        self.relations[relation].add(tup)
+        return len(self.relations[relation]) != before
+
+    def merge(self, keep: object, drop: object) -> None:
+        """Replace ``drop`` by ``keep`` everywhere."""
+        self.domain.discard(drop)
+        self.domain.add(keep)
+        for rel, tuples in self.relations.items():
+            self.relations[rel] = {
+                tuple(keep if elem == drop else elem for elem in tup)
+                for tup in tuples
+            }
+
+
+def _combined_schema(instance: Instance, deps: Sequence[Dependency]) -> Schema:
+    schema = instance.schema
+    for dep in deps:
+        schema = schema.union(dep.schema)
+    return schema
+
+
+def _fire_tgd(
+    state: _State,
+    tgd: TGD,
+    trigger: dict[Var, object],
+    nulls: FreshNulls,
+) -> tuple[int, int]:
+    """Add the head image for a trigger; returns (facts_added, nulls_used)."""
+    assignment = dict(trigger)
+    created = 0
+    for var in tgd.existential_variables:
+        assignment[var] = nulls()
+        created += 1
+    added = 0
+    for atom in tgd.head:
+        tup = tuple(assignment[arg] for arg in atom.args)  # type: ignore[index]
+        if state.add(atom.relation, tup):
+            added += 1
+    return added, created
+
+
+def _chase_egd(
+    state: _State, egd: EGD
+) -> tuple[bool, bool]:
+    """Apply one round of egd repairs; returns (changed, failed)."""
+    if egd.is_trivial:
+        return (False, False)
+    changed = False
+    while True:
+        snapshot = state.snapshot()
+        violation = None
+        for trigger in all_extensions_of(egd.body, snapshot):
+            if trigger[egd.lhs] != trigger[egd.rhs]:
+                violation = (trigger[egd.lhs], trigger[egd.rhs])
+                break
+        if violation is None:
+            return (changed, False)
+        left, right = violation
+        left_null = isinstance(left, Null)
+        right_null = isinstance(right, Null)
+        if not left_null and not right_null:
+            return (changed, True)  # hard failure: two distinct constants
+        if left_null and not right_null:
+            state.merge(right, left)
+        elif right_null and not left_null:
+            state.merge(left, right)
+        else:
+            keep, drop = sorted((left, right), key=element_sort_key)
+            state.merge(keep, drop)
+        changed = True
+
+
+def chase(
+    instance: Instance,
+    dependencies: Iterable[Dependency],
+    *,
+    variant: str = "restricted",
+    max_rounds: int | None = None,
+    max_facts: int | None = None,
+) -> ChaseResult:
+    """Chase ``instance`` with tgds and egds.
+
+    ``max_rounds`` bounds the number of full sweeps over the dependency
+    set; ``max_facts`` aborts when the instance grows past the bound.
+    With both ``None``, the chase runs until a fixpoint (which may never
+    come for non-terminating sets — prefer an explicit budget, or check
+    weak acyclicity first).
+    """
+    deps = sorted(dependencies, key=str)
+    if variant not in ("restricted", "oblivious"):
+        raise ChaseError(f"unknown chase variant {variant!r}")
+    if variant == "oblivious" and any(
+        isinstance(d, (EGD, DenialConstraint)) for d in deps
+    ):
+        raise ChaseError("the oblivious chase supports tgds only")
+
+    schema = _combined_schema(instance, deps)
+    state = _State(instance, schema)
+    nulls = FreshNulls()
+    fired = 0
+    nulls_created = 0
+    rounds = 0
+    oblivious_done: set[tuple] = set()
+
+    while True:
+        if max_rounds is not None and rounds >= max_rounds:
+            return ChaseResult(
+                state.snapshot(), False, False, rounds, fired, nulls_created
+            )
+        rounds += 1
+        progressed = False
+        for index, dep in enumerate(deps):
+            if isinstance(dep, DenialConstraint):
+                if find_extension(dep.body, state.snapshot()) is not None:
+                    return ChaseResult(
+                        state.snapshot(), True, True, rounds, fired,
+                        nulls_created,
+                    )
+                continue
+            if isinstance(dep, EGD):
+                changed, egd_failed = _chase_egd(state, dep)
+                progressed = progressed or changed
+                if egd_failed:
+                    return ChaseResult(
+                        state.snapshot(), True, True, rounds, fired,
+                        nulls_created,
+                    )
+                continue
+            snapshot = state.snapshot()
+            triggers = list(all_extensions_of(dep.body, snapshot))
+            for trigger in triggers:
+                if variant == "oblivious":
+                    key = (
+                        index,
+                        tuple(
+                            trigger[v] for v in dep.universal_variables
+                        ),
+                    )
+                    if key in oblivious_done:
+                        continue
+                    oblivious_done.add(key)
+                else:
+                    # Restricted: re-check activity against the live state.
+                    live = state.snapshot()
+                    if satisfies_atoms(dep.head, live, trigger):
+                        continue
+                added, created = _fire_tgd(state, dep, trigger, nulls)
+                fired += 1
+                nulls_created += created
+                progressed = progressed or added > 0 or created > 0
+                if max_facts is not None and state.fact_count() > max_facts:
+                    return ChaseResult(
+                        state.snapshot(), False, False, rounds, fired,
+                        nulls_created,
+                    )
+        if not progressed:
+            return ChaseResult(
+                state.snapshot(), True, False, rounds, fired, nulls_created
+            )

@@ -1,0 +1,171 @@
+"""Chase provenance: which rule firing produced which fact.
+
+`traced_chase` runs the restricted chase while recording one
+:class:`Firing` per trigger, and :func:`explain` walks the trace
+backwards to produce the derivation tree of a fact — the standard
+debugging surface of a materialization engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Union
+
+from ..dependencies.denial import DenialConstraint
+from ..dependencies.egd import EGD
+from ..dependencies.tgd import TGD
+from ..homomorphisms.search import all_extensions_of, satisfies_atoms
+from ..instances.instance import Instance
+from ..lang.atoms import Fact
+from ..lang.terms import FreshNulls, Var
+from .engine import ChaseError, ChaseResult, _State, _combined_schema, _fire_tgd
+
+__all__ = ["Firing", "TracedChaseResult", "traced_chase", "explain"]
+
+
+@dataclass(frozen=True)
+class Firing:
+    """One rule application: the tgd, the trigger's body image, and the
+    facts the head image added (facts already present are not listed)."""
+
+    tgd: TGD
+    premises: tuple[Fact, ...]
+    conclusions: tuple[Fact, ...]
+
+    def __str__(self) -> str:
+        premises = ", ".join(str(f) for f in self.premises) or "(empty body)"
+        conclusions = ", ".join(str(f) for f in self.conclusions)
+        return f"{premises}  ⊢[{self.tgd}]  {conclusions}"
+
+
+@dataclass(frozen=True)
+class TracedChaseResult:
+    """A chase result plus its firing log, in order."""
+
+    result: ChaseResult
+    trace: tuple[Firing, ...]
+
+    @property
+    def instance(self) -> Instance:
+        return self.result.instance
+
+    def producers(self, fact: Fact) -> tuple[Firing, ...]:
+        """All firings that introduced the fact."""
+        return tuple(
+            firing for firing in self.trace if fact in firing.conclusions
+        )
+
+
+def traced_chase(
+    instance: Instance,
+    dependencies: Iterable[Union[TGD, EGD, DenialConstraint]],
+    *,
+    max_rounds: int | None = None,
+) -> TracedChaseResult:
+    """The restricted chase with a firing log.
+
+    Provenance is only meaningful while element identity is stable, so
+    egds (which merge elements) are rejected; use :func:`repro.chase.chase`
+    when egds are involved.
+    """
+    deps = sorted(dependencies, key=str)
+    if any(isinstance(d, EGD) for d in deps):
+        raise ChaseError("traced_chase supports tgds and dcs only")
+
+    schema = _combined_schema(instance, deps)
+    state = _State(instance, schema)
+    nulls = FreshNulls()
+    trace: list[Firing] = []
+    rounds = 0
+    fired = 0
+    nulls_created = 0
+
+    while True:
+        if max_rounds is not None and rounds >= max_rounds:
+            return TracedChaseResult(
+                ChaseResult(
+                    state.snapshot(), False, False, rounds, fired,
+                    nulls_created,
+                ),
+                tuple(trace),
+            )
+        rounds += 1
+        progressed = False
+        for dep in deps:
+            if isinstance(dep, DenialConstraint):
+                snapshot = state.snapshot()
+                if not dep.satisfied_by(snapshot):
+                    return TracedChaseResult(
+                        ChaseResult(
+                            snapshot, True, True, rounds, fired,
+                            nulls_created,
+                        ),
+                        tuple(trace),
+                    )
+                continue
+            snapshot = state.snapshot()
+            for trigger in list(all_extensions_of(dep.body, snapshot)):
+                live = state.snapshot()
+                if satisfies_atoms(dep.head, live, trigger):
+                    continue
+                before = {
+                    rel: set(tuples)
+                    for rel, tuples in state.relations.items()
+                }
+                added, created = _fire_tgd(state, dep, trigger, nulls)
+                fired += 1
+                nulls_created += created
+                progressed = progressed or added > 0 or created > 0
+                premises = tuple(
+                    sorted(atom.to_fact(trigger) for atom in dep.body)
+                )
+                conclusions = tuple(
+                    sorted(
+                        Fact(rel, tup)
+                        for rel, tuples in state.relations.items()
+                        for tup in tuples - before[rel]
+                    )
+                )
+                if conclusions:
+                    trace.append(Firing(dep, premises, conclusions))
+        if not progressed:
+            return TracedChaseResult(
+                ChaseResult(
+                    state.snapshot(), True, False, rounds, fired,
+                    nulls_created,
+                ),
+                tuple(trace),
+            )
+
+
+def explain(
+    traced: TracedChaseResult,
+    fact: Fact,
+    *,
+    max_depth: int = 20,
+) -> list[str]:
+    """A textual derivation of the fact, back to database facts.
+
+    Each line is ``indent fact  [rule or 'database']``; shared premises
+    are expanded once per occurrence up to ``max_depth``.
+    """
+    lines: list[str] = []
+
+    def walk(current: Fact, depth: int) -> None:
+        indent = "  " * depth
+        producers = traced.producers(current)
+        if not producers:
+            lines.append(f"{indent}{current}  [database]")
+            return
+        firing = producers[0]
+        lines.append(f"{indent}{current}  [{firing.tgd}]")
+        if depth >= max_depth:
+            lines.append(f"{indent}  ...")
+            return
+        for premise in firing.premises:
+            walk(premise, depth + 1)
+
+    if not traced.instance.has_fact(fact):
+        raise ValueError(f"{fact} does not hold in the chased instance")
+    walk(fact, 0)
+    return lines

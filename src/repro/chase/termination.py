@@ -1,0 +1,108 @@
+"""Static chase-termination analysis: weak acyclicity.
+
+A set of tgds is *weakly acyclic* if its position dependency graph has no
+cycle through a "special" edge.  Weak acyclicity guarantees that every
+chase sequence terminates in polynomially many steps (Fagin et al., data
+exchange); it is the certificate our entailment layer uses to decide when
+a chase-based answer is definitive without a budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from ..dependencies.egd import EGD
+from ..dependencies.tgd import TGD
+
+__all__ = ["Position", "WeakAcyclicityReport", "position_graph", "is_weakly_acyclic", "weak_acyclicity_report"]
+
+Position = tuple[str, int]  # (relation name, argument index)
+
+
+@dataclass(frozen=True)
+class WeakAcyclicityReport:
+    """Outcome of the analysis; ``cycle`` witnesses a violation."""
+
+    weakly_acyclic: bool
+    cycle: tuple[Position, ...] | None
+
+    def __bool__(self) -> bool:
+        return self.weakly_acyclic
+
+
+def position_graph(tgds: Iterable[TGD]) -> nx.DiGraph:
+    """The position dependency graph.
+
+    For every tgd and every body occurrence of a universally quantified
+    variable ``x`` at position ``p``:
+
+    * a *regular* edge ``p → q`` for every head position ``q`` of ``x``;
+    * a *special* edge ``p → q`` for every head position ``q`` of every
+      existentially quantified variable — provided ``x`` occurs in the
+      head (i.e. ``x`` is a frontier variable).
+    """
+    graph = nx.DiGraph()
+    for tgd in tgds:
+        frontier = set(tgd.frontier)
+        existential = set(tgd.existential_variables)
+        head_positions: dict[object, list[Position]] = {}
+        for atom in tgd.head:
+            for i, arg in enumerate(atom.args):
+                head_positions.setdefault(arg, []).append(
+                    (atom.relation.name, i)
+                )
+        existential_targets = [
+            pos
+            for var in existential
+            for pos in head_positions.get(var, [])
+        ]
+        for atom in tgd.body:
+            for i, arg in enumerate(atom.args):
+                source: Position = (atom.relation.name, i)
+                graph.add_node(source)
+                if arg in frontier:
+                    for target in head_positions.get(arg, []):
+                        _add_edge(graph, source, target, special=False)
+                    for target in existential_targets:
+                        _add_edge(graph, source, target, special=True)
+        for positions in head_positions.values():
+            for pos in positions:
+                graph.add_node(pos)
+    return graph
+
+
+def _add_edge(
+    graph: nx.DiGraph, source: Position, target: Position, *, special: bool
+) -> None:
+    if graph.has_edge(source, target):
+        if special:
+            graph[source][target]["special"] = True
+    else:
+        graph.add_edge(source, target, special=special)
+
+
+def weak_acyclicity_report(
+    dependencies: Sequence[TGD | EGD],
+) -> WeakAcyclicityReport:
+    """Weak acyclicity of the tgds in the set (egds never obstruct it)."""
+    tgds = [dep for dep in dependencies if isinstance(dep, TGD)]
+    graph = position_graph(tgds)
+    for component in nx.strongly_connected_components(graph):
+        for source in component:
+            for target in graph.successors(source):
+                if target in component and graph[source][target]["special"]:
+                    try:
+                        path = nx.shortest_path(graph, target, source)
+                    except nx.NetworkXNoPath:  # pragma: no cover
+                        path = [target, source]
+                    return WeakAcyclicityReport(
+                        False, tuple([source, *path])
+                    )
+    return WeakAcyclicityReport(True, None)
+
+
+def is_weakly_acyclic(dependencies: Sequence[TGD | EGD]) -> bool:
+    return weak_acyclicity_report(dependencies).weakly_acyclic

@@ -1,0 +1,276 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``classify RULES``            — per-rule classes, widths, weak acyclicity
+* ``chase RULES DATA``          — materialize the chase of a database
+* ``entails RULES "RULE"``      — decide Σ ⊨ σ (three-valued)
+* ``rewrite RULES --target T``  — Algorithm 1 / 2 / full-tgd search
+* ``audit RULES``               — the model-theoretic property battery
+* ``characterize RULES``        — Theorems 4.1/5.6/6.4/7.4/8.4 verdicts
+* ``query RULES DATA "Q"``      — certain answers of a CQ (chase-based;
+  ``--via-rewriting`` switches to UCQ rewriting for linear rules)
+* ``separations``               — re-derive the Section 9.1 separations
+
+``RULES`` is a file with one dependency per line (``#`` comments);
+``DATA`` a file of facts like ``R(a, b). S(b)``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .chase import chase, weak_acyclicity_report
+from .dependencies import (
+    TGD,
+    TGDClass,
+    affected_positions,
+    classify,
+    is_sticky_set,
+    is_weakly_guarded_set,
+    set_width,
+)
+from .entailment import entails, equivalent
+from .instances import Instance, all_instances_up_to
+from .lang import (
+    format_dependencies,
+    format_instance,
+    parse_dependency,
+    parse_facts,
+)
+from .ontology import AxiomaticOntology
+from .omqa import CQ, certain_answers, rewrite_ucq
+from .properties import (
+    LocalityMode,
+    characterize,
+    criticality_report,
+    domain_independence_report,
+    intersection_closure_report,
+    locality_report,
+    product_closure_report,
+)
+from .rewriting import (
+    frontier_guarded_to_guarded,
+    guarded_to_linear,
+    rewrite,
+    linear_vs_guarded_witness,
+    guarded_vs_frontier_guarded_witness,
+    verify_separation,
+)
+
+__all__ = ["main"]
+
+
+def _load_dependencies(path: str):
+    deps = []
+    for line in Path(path).read_text().splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            deps.append(parse_dependency(line))
+    if not deps:
+        raise SystemExit(f"no dependencies found in {path}")
+    return deps
+
+
+def _load_instance(path: str) -> Instance:
+    facts = parse_facts(Path(path).read_text())
+    from .lang import Schema
+
+    return Instance.from_facts(Schema(f.relation for f in facts), facts)
+
+
+def _cmd_classify(args) -> int:
+    deps = _load_dependencies(args.rules)
+    tgds = [d for d in deps if isinstance(d, TGD)]
+    for dep in deps:
+        if isinstance(dep, TGD):
+            labels = ", ".join(sorted(str(c) for c in classify(dep)))
+            n, m = dep.width
+            print(f"{dep}\n    classes: {labels}; width: (n={n}, m={m})")
+        else:
+            print(f"{dep}\n    kind: {type(dep).__name__}")
+    if tgds:
+        n, m = set_width(tgds)
+        print(f"\nset width: TGD_{{{n},{m}}}")
+        report = weak_acyclicity_report(tgds)
+        print(f"weakly acyclic: {report.weakly_acyclic}")
+        if report.cycle:
+            print(f"  special cycle through: {report.cycle}")
+        print(f"weakly guarded: {is_weakly_guarded_set(tgds)}")
+        print(f"sticky: {is_sticky_set(tgds)}")
+        affected = sorted(affected_positions(tgds))
+        if affected:
+            rendered = ", ".join(f"{r}[{i}]" for r, i in affected)
+            print(f"affected positions: {rendered}")
+    return 0
+
+
+def _cmd_chase(args) -> int:
+    deps = _load_dependencies(args.rules)
+    db = _load_instance(args.data)
+    result = chase(db, deps, max_rounds=args.max_rounds)
+    status = "failed (constraint violation)" if result.failed else (
+        "terminated" if result.terminated else "budget exhausted"
+    )
+    print(f"chase {status}: {result.fired} firings, "
+          f"{result.nulls_created} nulls, {result.rounds} rounds")
+    print(format_instance(result.instance))
+    return 1 if result.failed else 0
+
+
+def _cmd_entails(args) -> int:
+    deps = _load_dependencies(args.rules)
+    conclusion = parse_dependency(args.rule)
+    verdict = entails(deps, conclusion, max_rounds=args.max_rounds)
+    print(f"Σ ⊨ {conclusion}: {verdict}")
+    return 0 if verdict.is_definite else 2
+
+
+def _cmd_rewrite(args) -> int:
+    deps = _load_dependencies(args.rules)
+    tgds = [d for d in deps if isinstance(d, TGD)]
+    if len(tgds) != len(deps):
+        raise SystemExit("rewrite expects a pure tgd file")
+    if args.target == "linear":
+        result = guarded_to_linear(tgds, minimize=not args.no_minimize)
+    elif args.target == "guarded":
+        result = frontier_guarded_to_guarded(
+            tgds, minimize=not args.no_minimize
+        )
+    else:
+        result = rewrite(tgds, TGDClass.FULL, minimize=not args.no_minimize)
+    print(result)
+    return 0 if result.succeeded else 1
+
+
+def _cmd_audit(args) -> int:
+    deps = _load_dependencies(args.rules)
+    ontology = AxiomaticOntology(deps)
+    tgds = [d for d in deps if isinstance(d, TGD)]
+    n, m = set_width(tgds)
+    print(f"ontology over {ontology.schema}, width (n={n}, m={m})")
+    space = list(all_instances_up_to(ontology.schema, args.max_domain))
+    print(f"instance space: {len(space)} (domain ≤ {args.max_domain})\n")
+    print(criticality_report(ontology, max_k=2))
+    print(product_closure_report(ontology, max_domain_size=1))
+    print(domain_independence_report(ontology, space))
+    print(intersection_closure_report(ontology, max_domain_size=1))
+    for mode in (
+        LocalityMode.GENERAL,
+        LocalityMode.LINEAR,
+        LocalityMode.GUARDED,
+        LocalityMode.FRONTIER_GUARDED,
+    ):
+        print(locality_report(ontology, n, m, space, mode=mode))
+    return 0
+
+
+def _cmd_query(args) -> int:
+    deps = _load_dependencies(args.rules)
+    db = _load_instance(args.data)
+    query = CQ.parse(args.query)
+    if args.via_rewriting:
+        result = rewrite_ucq(query, [d for d in deps if isinstance(d, TGD)])
+        print(f"UCQ rewriting ({len(result.ucq)} disjuncts, "
+              f"complete={result.complete}):")
+        for disjunct in result.ucq:
+            print(f"  {disjunct}")
+        answers = result.ucq.evaluate(db)
+    else:
+        answers = certain_answers(db, deps, query)
+    print("certain answers:")
+    for tup in sorted(answers, key=str):
+        print("  (" + ", ".join(str(e) for e in tup) + ")")
+    if not answers:
+        print("  (none)")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    deps = _load_dependencies(args.rules)
+    ontology = AxiomaticOntology(deps)
+    tgds = [d for d in deps if isinstance(d, TGD)]
+    n, m = set_width(tgds)
+    result = characterize(
+        ontology, n, m, max_domain_size=args.max_domain
+    )
+    print(result)
+    return 0
+
+
+def _cmd_separations(args) -> int:
+    for witness in (
+        linear_vs_guarded_witness(),
+        guarded_vs_frontier_guarded_witness(),
+    ):
+        outcome = verify_separation(witness)
+        print(outcome)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classify", help="classify the rules of a file")
+    p.add_argument("rules")
+    p.set_defaults(func=_cmd_classify)
+
+    p = sub.add_parser("chase", help="chase a database")
+    p.add_argument("rules")
+    p.add_argument("data")
+    p.add_argument("--max-rounds", type=int, default=None)
+    p.set_defaults(func=_cmd_chase)
+
+    p = sub.add_parser("entails", help="decide Σ ⊨ σ")
+    p.add_argument("rules")
+    p.add_argument("rule")
+    p.add_argument("--max-rounds", type=int, default=None)
+    p.set_defaults(func=_cmd_entails)
+
+    p = sub.add_parser("rewrite", help="Algorithms 1 / 2")
+    p.add_argument("rules")
+    p.add_argument(
+        "--target", choices=("linear", "guarded", "full"), default="linear"
+    )
+    p.add_argument("--no-minimize", action="store_true")
+    p.set_defaults(func=_cmd_rewrite)
+
+    p = sub.add_parser("audit", help="model-theoretic property battery")
+    p.add_argument("rules")
+    p.add_argument("--max-domain", type=int, default=1)
+    p.set_defaults(func=_cmd_audit)
+
+    p = sub.add_parser("query", help="certain answers of a CQ")
+    p.add_argument("rules")
+    p.add_argument("data")
+    p.add_argument("query")
+    p.add_argument("--via-rewriting", action="store_true")
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser(
+        "characterize", help="which tgd classes axiomatize the ontology"
+    )
+    p.add_argument("rules")
+    p.add_argument("--max-domain", type=int, default=2)
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("separations", help="re-derive §9.1")
+    p.set_defaults(func=_cmd_separations)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

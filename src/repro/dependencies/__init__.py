@@ -1,0 +1,41 @@
+"""Dependencies: tgds, egds, edds, classes, canonical forms, enumeration."""
+
+from .advanced_classes import (
+    affected_positions,
+    is_sticky_set,
+    is_weakly_guarded_set,
+    sticky_marking,
+)
+from .canonical import canonical_key, canonicalize, dedup_canonical
+from .classes import TGDClass, all_in_class, classify, in_class, set_width
+from .denial import DenialConstraint
+from .edd import EDD, Disjunct, EqualityDisjunct, ExistentialDisjunct
+from .egd import EGD
+from .enumeration import (
+    atoms_over,
+    canonical_atom_patterns,
+    enumerate_dds,
+    enumerate_edds,
+    enumerate_frontier_guarded_tgds,
+    enumerate_full_tgds,
+    enumerate_guarded_tgds,
+    enumerate_heads,
+    enumerate_linear_tgds,
+    enumerate_tgds,
+    is_trivial_tgd,
+)
+from .tgd import TGD, DependencyError
+
+__all__ = [
+    "affected_positions", "is_sticky_set", "is_weakly_guarded_set",
+    "sticky_marking",
+    "canonical_key", "canonicalize", "dedup_canonical",
+    "TGDClass", "all_in_class", "classify", "in_class", "set_width",
+    "DenialConstraint",
+    "EDD", "Disjunct", "EqualityDisjunct", "ExistentialDisjunct", "EGD",
+    "atoms_over", "canonical_atom_patterns", "enumerate_dds", "enumerate_edds",
+    "enumerate_frontier_guarded_tgds", "enumerate_full_tgds",
+    "enumerate_guarded_tgds", "enumerate_heads", "enumerate_linear_tgds",
+    "enumerate_tgds", "is_trivial_tgd",
+    "TGD", "DependencyError",
+]

@@ -1,0 +1,101 @@
+"""Canonical forms of dependencies up to variable renaming.
+
+Enumerating ``LTGD_{n,m}`` / ``GTGD_{n,m}`` candidates (Algorithms 1 and 2)
+must not distinguish alphabetic variants: ``R(x) -> S(x)`` and
+``R(y) -> S(y)`` are the same dependency.  We canonicalize by brute-force
+minimization over variable bijections, which is exact and cheap for the
+small variable counts the algorithms range over (the search space is
+``k!`` for ``k`` variables; the enumerators keep ``k = n + m`` small).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from ..lang.atoms import Atom
+from ..lang.terms import Var
+from .tgd import TGD
+
+__all__ = [
+    "canonical_key",
+    "canonicalize",
+    "dedup_canonical",
+    "MAX_CANONICAL_VARIABLES",
+]
+
+MAX_CANONICAL_VARIABLES = 9
+
+
+def _atoms_key(atoms: Iterable[Atom], mapping: dict[Var, int]) -> tuple:
+    rendered = []
+    for atom in atoms:
+        rendered.append(
+            (
+                atom.relation.name,
+                tuple(mapping[arg] for arg in atom.args),  # type: ignore[index]
+            )
+        )
+    return tuple(sorted(rendered))
+
+
+def canonical_key(tgd: TGD) -> tuple:
+    """A hashable key equal for exactly the alphabetic variants of ``tgd``.
+
+    Body and head are treated as *sets* of atoms (conjunction order is
+    irrelevant), and variables are minimized over all bijections into
+    ``0..k-1``.  Existential and universal variables may not be exchanged
+    (a bijection mapping a body variable to a head-only slot would change
+    the sentence), which the minimization respects automatically because
+    the body/head split is part of the key.
+    """
+    variables = tgd.variables()
+    if len(variables) > MAX_CANONICAL_VARIABLES:
+        raise ValueError(
+            f"canonicalization supports up to {MAX_CANONICAL_VARIABLES} "
+            f"variables, got {len(variables)}"
+        )
+    best: tuple | None = None
+    indices = range(len(variables))
+    for perm in itertools.permutations(indices):
+        mapping = {var: perm[i] for i, var in enumerate(variables)}
+        key = (
+            _atoms_key(tgd.body, mapping),
+            _atoms_key(tgd.head, mapping),
+        )
+        if best is None or key < best:
+            best = key
+    assert best is not None
+    return best
+
+
+def canonicalize(tgd: TGD) -> TGD:
+    """The canonical alphabetic variant (variables ``v0, v1, ...``)."""
+    variables = tgd.variables()
+    best_key: tuple | None = None
+    best_mapping: dict[Var, Var] | None = None
+    for perm in itertools.permutations(range(len(variables))):
+        mapping = {var: perm[i] for i, var in enumerate(variables)}
+        key = (
+            _atoms_key(tgd.body, mapping),
+            _atoms_key(tgd.head, mapping),
+        )
+        if best_key is None or key < best_key:
+            best_key = key
+            best_mapping = {
+                var: Var(f"v{perm[i]}") for i, var in enumerate(variables)
+            }
+    assert best_mapping is not None
+    return tgd.substitute(best_mapping)
+
+
+def dedup_canonical(tgds: Sequence[TGD]) -> list[TGD]:
+    """Drop alphabetic duplicates, keeping first occurrences."""
+    seen: set[tuple] = set()
+    unique: list[TGD] = []
+    for tgd in tgds:
+        key = canonical_key(tgd)
+        if key not in seen:
+            seen.add(key)
+            unique.append(tgd)
+    return unique

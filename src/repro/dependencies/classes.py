@@ -1,0 +1,66 @@
+"""The tgd class lattice: TGD, FTGD, LTGD, GTGD, FGTGD and their
+``(n, m)``-width fragments (Section 2).
+
+``LTGD ⊊ GTGD ⊊ FGTGD`` and ``FGTGD ≠ FTGD``; ``FTGD = ⋃_n TGD_{n,0}``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from .tgd import TGD
+
+__all__ = ["TGDClass", "in_class", "all_in_class", "classify", "set_width"]
+
+
+class TGDClass(enum.Enum):
+    """The syntactic classes of tgds studied by the paper."""
+
+    TGD = "tgd"
+    FULL = "full"
+    LINEAR = "linear"
+    GUARDED = "guarded"
+    FRONTIER_GUARDED = "frontier-guarded"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_PREDICATES = {
+    TGDClass.TGD: lambda tgd: True,
+    TGDClass.FULL: lambda tgd: tgd.is_full,
+    TGDClass.LINEAR: lambda tgd: tgd.is_linear,
+    TGDClass.GUARDED: lambda tgd: tgd.is_guarded,
+    TGDClass.FRONTIER_GUARDED: lambda tgd: tgd.is_frontier_guarded,
+}
+
+
+def in_class(tgd: TGD, cls: TGDClass) -> bool:
+    """Does a single tgd belong to the class?"""
+    return _PREDICATES[cls](tgd)
+
+
+def all_in_class(tgds: Iterable[TGD], cls: TGDClass) -> bool:
+    """Does a finite set of tgds belong to the class (every member does)?"""
+    return all(in_class(tgd, cls) for tgd in tgds)
+
+
+def classify(tgd: TGD) -> frozenset[TGDClass]:
+    """All classes the tgd belongs to."""
+    return frozenset(cls for cls in TGDClass if in_class(tgd, cls))
+
+
+def set_width(tgds: Iterable[TGD]) -> tuple[int, int]:
+    """The least ``(n, m)`` such that the set is in ``TGD_{n,m}``.
+
+    ``n`` is the max number of universally quantified variables over the
+    members, ``m`` the max number of existentially quantified ones.
+    """
+    n = 0
+    m = 0
+    for tgd in tgds:
+        tn, tm = tgd.width
+        n = max(n, tn)
+        m = max(m, tm)
+    return (n, m)

@@ -1,0 +1,143 @@
+"""Description-logic syntax (a DL-Lite_R / EL-flavoured fragment).
+
+Section 1 of the paper: "many axioms used in description logics can be
+expressed as tgds or egds over relational schemas consisting of unary
+and binary predicates".  This package makes that bridge executable: a
+small TBox language whose translation (see
+:mod:`repro.dl.translate`) lands exactly in the tgd classes the paper
+studies — DL-Lite-style axioms become *linear* tgds, EL-style
+conjunctions become *guarded* ones, disjointness becomes a denial
+constraint, and functionality an egd.
+
+Concepts::
+
+    A                      atomic(A)
+    ∃R                     Exists(R)           (some R-successor)
+    ∃R⁻                    Exists(R.inverse()) (some R-predecessor)
+    ∃R.A                   Exists(R, A)        (qualified)
+    A ⊓ B                  And(A, B)           (left-hand sides only)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "Role",
+    "AtomicConcept",
+    "Exists",
+    "And",
+    "Concept",
+    "ConceptInclusion",
+    "RoleInclusion",
+    "Disjointness",
+    "FunctionalRole",
+    "Axiom",
+    "DLError",
+]
+
+
+class DLError(ValueError):
+    """Raised for axioms outside the translatable fragment."""
+
+
+@dataclass(frozen=True)
+class Role:
+    """A role name, possibly inverted (``R⁻``)."""
+
+    name: str
+    inverted: bool = False
+
+    def inverse(self) -> "Role":
+        return Role(self.name, not self.inverted)
+
+    def __str__(self) -> str:
+        return f"{self.name}-" if self.inverted else self.name
+
+
+@dataclass(frozen=True)
+class AtomicConcept:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Exists:
+    """``∃R`` (unqualified) or ``∃R.C`` (qualified) existential."""
+
+    role: Role
+    filler: "AtomicConcept | None" = None
+
+    def __str__(self) -> str:
+        if self.filler is None:
+            return f"∃{self.role}"
+        return f"∃{self.role}.{self.filler}"
+
+
+@dataclass(frozen=True)
+class And:
+    """``A ⊓ B`` — conjunction of atomic concepts (LHS only)."""
+
+    left: AtomicConcept
+    right: AtomicConcept
+
+    def __str__(self) -> str:
+        return f"({self.left} ⊓ {self.right})"
+
+
+Concept = Union[AtomicConcept, Exists, And]
+
+
+@dataclass(frozen=True)
+class ConceptInclusion:
+    """``C ⊑ D``.
+
+    Supported shapes (each translating to a single tgd):
+
+    * LHS: atomic, ∃R, ∃R⁻, A ⊓ B;
+    * RHS: atomic, ∃R, ∃R⁻, ∃R.A, ∃R⁻.A.
+    """
+
+    lhs: Concept
+    rhs: Concept
+
+    def __str__(self) -> str:
+        return f"{self.lhs} ⊑ {self.rhs}"
+
+
+@dataclass(frozen=True)
+class RoleInclusion:
+    """``R ⊑ S`` (either side possibly inverted)."""
+
+    lhs: Role
+    rhs: Role
+
+    def __str__(self) -> str:
+        return f"{self.lhs} ⊑ {self.rhs}"
+
+
+@dataclass(frozen=True)
+class Disjointness:
+    """``A ⊓ B ⊑ ⊥`` — translated to a denial constraint."""
+
+    left: AtomicConcept
+    right: AtomicConcept
+
+    def __str__(self) -> str:
+        return f"{self.left} ⊓ {self.right} ⊑ ⊥"
+
+
+@dataclass(frozen=True)
+class FunctionalRole:
+    """``(funct R)`` — translated to an egd."""
+
+    role: Role
+
+    def __str__(self) -> str:
+        return f"(funct {self.role})"
+
+
+Axiom = Union[ConceptInclusion, RoleInclusion, Disjointness, FunctionalRole]

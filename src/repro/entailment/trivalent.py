@@ -1,0 +1,88 @@
+"""Three-valued answers for semi-decidable questions.
+
+``Σ ⊨ σ`` is undecidable for arbitrary tgds; our chase-based procedure
+answers ``TRUE`` / ``FALSE`` when the chase is conclusive and ``UNKNOWN``
+when a budget ran out first.  Keeping the third value explicit (instead of
+guessing) is what lets Algorithms 1 and 2 report *inconclusive* candidates
+honestly.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+__all__ = ["TriBool", "tri_all", "UndecidedError"]
+
+
+class UndecidedError(RuntimeError):
+    """Raised when a definite answer was required but not available."""
+
+
+class TriBool(enum.Enum):
+    TRUE = "true"
+    FALSE = "false"
+    UNKNOWN = "unknown"
+
+    @classmethod
+    def of(cls, value: bool) -> "TriBool":
+        return cls.TRUE if value else cls.FALSE
+
+    @property
+    def is_true(self) -> bool:
+        return self is TriBool.TRUE
+
+    @property
+    def is_false(self) -> bool:
+        return self is TriBool.FALSE
+
+    @property
+    def is_definite(self) -> bool:
+        return self is not TriBool.UNKNOWN
+
+    def require(self, context: str = "") -> bool:
+        """The boolean value, or :class:`UndecidedError` if unknown."""
+        if not self.is_definite:
+            raise UndecidedError(
+                f"no definite answer{': ' + context if context else ''}"
+            )
+        return self.is_true
+
+    def __invert__(self) -> "TriBool":
+        if self is TriBool.TRUE:
+            return TriBool.FALSE
+        if self is TriBool.FALSE:
+            return TriBool.TRUE
+        return TriBool.UNKNOWN
+
+    def __and__(self, other: "TriBool") -> "TriBool":
+        if TriBool.FALSE in (self, other):
+            return TriBool.FALSE
+        if TriBool.UNKNOWN in (self, other):
+            return TriBool.UNKNOWN
+        return TriBool.TRUE
+
+    def __or__(self, other: "TriBool") -> "TriBool":
+        if TriBool.TRUE in (self, other):
+            return TriBool.TRUE
+        if TriBool.UNKNOWN in (self, other):
+            return TriBool.UNKNOWN
+        return TriBool.FALSE
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "TriBool does not coerce to bool; use .is_true / .require()"
+        )
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def tri_all(values: Iterable[TriBool]) -> TriBool:
+    """Kleene conjunction of a sequence."""
+    result = TriBool.TRUE
+    for value in values:
+        result = result & value
+        if result.is_false:
+            return result
+    return result

@@ -1,0 +1,58 @@
+"""Cores and retractions.
+
+The *core* of a finite instance is a ⊆-minimal instance it retracts onto;
+it is unique up to isomorphism.  Cores are not used by the paper's proofs
+directly, but they are the standard tool for comparing chase results up to
+homomorphic equivalence, which our tests use to validate universality.
+"""
+
+from __future__ import annotations
+
+from ..instances.instance import Instance
+from .search import all_homomorphisms, find_homomorphism
+
+__all__ = ["find_proper_retraction", "core", "homomorphically_equivalent"]
+
+
+def find_proper_retraction(instance: Instance) -> dict | None:
+    """An endomorphism whose image has a strictly smaller active domain
+    and which is the identity on its image, or ``None`` if the instance
+    is a core."""
+    active = instance.active_domain
+    for hom in all_homomorphisms(instance, instance):
+        image = {hom[elem] for elem in active}
+        if len(image) == len(active):
+            continue
+        # Turn the endomorphism into a retraction by iterating it; for a
+        # finite instance some power of any non-injective endomorphism is
+        # idempotent on the active domain.
+        current = {elem: hom.get(elem, elem) for elem in instance.domain}
+        for __ in range(len(instance.domain) + 1):
+            composed = {
+                elem: current[current[elem]] for elem in current
+            }
+            if composed == current:
+                break
+            current = composed
+        image = {current[elem] for elem in active}
+        if len(image) < len(active):
+            return current
+    return None
+
+
+def core(instance: Instance) -> Instance:
+    """The core, computed by repeatedly applying proper retractions."""
+    current = instance.shrink_domain()
+    while True:
+        retraction = find_proper_retraction(current)
+        if retraction is None:
+            return current
+        current = current.rename(retraction).shrink_domain()
+
+
+def homomorphically_equivalent(left: Instance, right: Instance) -> bool:
+    """Mutual homomorphic equivalence (same certain answers to all CQs)."""
+    return (
+        find_homomorphism(left, right) is not None
+        and find_homomorphism(right, left) is not None
+    )

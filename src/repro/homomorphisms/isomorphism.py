@@ -1,0 +1,51 @@
+"""Isomorphism testing.
+
+``I ≃ J`` iff there is a 1-1 homomorphism ``h`` from ``I`` onto ``J``
+whose inverse is a homomorphism from ``J`` to ``I`` (Section 2).  For
+finite instances this is equivalent to: ``h`` is a domain bijection and
+``h(facts(I)) = facts(J)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..instances.instance import Instance
+from .search import all_homomorphisms
+
+__all__ = ["find_isomorphism", "are_isomorphic", "all_isomorphisms"]
+
+
+def _profiles_match(left: Instance, right: Instance) -> bool:
+    if len(left.domain) != len(right.domain):
+        return False
+    if len(left.active_domain) != len(right.active_domain):
+        return False
+    return all(
+        len(left.tuples(rel)) == len(right.tuples(rel))
+        for rel in left.schema
+    )
+
+
+def all_isomorphisms(left: Instance, right: Instance) -> Iterator[dict]:
+    """All isomorphisms from ``left`` onto ``right``."""
+    left._check_same_schema(right)
+    if not _profiles_match(left, right):
+        return
+    for hom in all_homomorphisms(left, right, injective=True):
+        # Injective + equal per-relation counts forces h(facts(I)) =
+        # facts(J), hence the inverse is a homomorphism too; assert it.
+        image = {fact.rename(hom) for fact in left.facts()}
+        if image == set(right.facts()):
+            yield hom
+
+
+def find_isomorphism(left: Instance, right: Instance) -> dict | None:
+    for iso in all_isomorphisms(left, right):
+        return iso
+    return None
+
+
+def are_isomorphic(left: Instance, right: Instance) -> bool:
+    """``I ≃ J``."""
+    return find_isomorphism(left, right) is not None

@@ -1,0 +1,242 @@
+"""Backtracking homomorphism search.
+
+Two flavours are provided:
+
+* **Conjunctive-query matching** — :func:`find_extension` /
+  :func:`all_extensions_of`: map the variables of a conjunction of atoms
+  into an instance so that every atom becomes a fact.  Constant arguments
+  must match exactly (this is what evaluating a "frozen" query needs).
+
+* **Instance-to-instance homomorphisms** — :func:`find_homomorphism` /
+  :func:`all_homomorphisms`: a function ``h : dom(I) → dom(J)`` with
+  ``h(facts(I)) ⊆ facts(J)``.  Note the paper's homomorphisms do *not*
+  fix constants; use ``fixed`` to pin selected elements (e.g. "identity
+  on adom(K)" in local embeddability).
+
+The search picks the most-constrained atom at each step (most bound
+positions, then fewest candidate tuples) and backtracks.  Target tuples
+are indexed per relation and filtered on bound positions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from ..instances.instance import Instance
+from ..lang.atoms import Atom
+from ..lang.terms import Const, Var, element_sort_key
+
+__all__ = [
+    "find_extension",
+    "all_extensions_of",
+    "find_homomorphism",
+    "all_homomorphisms",
+    "satisfies_atoms",
+]
+
+
+def _candidates(
+    atom: Atom,
+    target: Instance,
+    assignment: Mapping[Var, object],
+) -> list[tuple]:
+    """Target tuples compatible with the atom under the assignment."""
+    matches = []
+    for tup in target.tuples(atom.relation):
+        bound: dict[Var, object] = {}
+        ok = True
+        for arg, elem in zip(atom.args, tup):
+            if isinstance(arg, Const):
+                if arg != elem:
+                    ok = False
+                    break
+            else:
+                expected = assignment.get(arg, bound.get(arg))
+                if expected is None:
+                    bound[arg] = elem
+                elif expected != elem:
+                    ok = False
+                    break
+        if ok:
+            matches.append(tup)
+    return matches
+
+
+def _boundness(atom: Atom, assignment: Mapping[Var, object]) -> int:
+    return sum(
+        1
+        for arg in atom.args
+        if isinstance(arg, Const) or arg in assignment
+    )
+
+
+def _search(
+    atoms: list[Atom],
+    target: Instance,
+    assignment: dict[Var, object],
+    injective: bool,
+    dynamic_order: bool = True,
+) -> Iterator[dict[Var, object]]:
+    if not atoms:
+        yield dict(assignment)
+        return
+    if dynamic_order:
+        # Most-constrained-first: maximize bound positions, break ties by
+        # the smallest relation extent.  Ablated (vs textual order) in
+        # benchmarks/bench_ablations.py.
+        index = max(
+            range(len(atoms)),
+            key=lambda i: (
+                _boundness(atoms[i], assignment),
+                -len(target.tuples(atoms[i].relation)),
+            ),
+        )
+    else:
+        index = 0
+    atom = atoms[index]
+    rest = atoms[:index] + atoms[index + 1 :]
+    for tup in sorted(_candidates(atom, target, assignment), key=element_sort_key):
+        added: list[Var] = []
+        ok = True
+        for arg, elem in zip(atom.args, tup):
+            if isinstance(arg, Const):
+                continue
+            if arg in assignment:
+                if assignment[arg] != elem:
+                    ok = False
+                    break
+            else:
+                if injective and elem in assignment.values():
+                    ok = False
+                    break
+                assignment[arg] = elem
+                added.append(arg)
+        if ok:
+            # The injectivity check above is per-position; re-validate the
+            # newly added bindings against each other.
+            if not injective or len(set(assignment.values())) == len(assignment):
+                yield from _search(
+                    rest, target, assignment, injective, dynamic_order
+                )
+        for var in added:
+            del assignment[var]
+
+
+def all_extensions_of(
+    atoms: Sequence[Atom],
+    target: Instance,
+    partial: Mapping[Var, object] | None = None,
+    *,
+    injective: bool = False,
+    dynamic_order: bool = True,
+) -> Iterator[dict[Var, object]]:
+    """All extensions of ``partial`` mapping every atom to a fact of
+    ``target``.  Yields complete assignments (including ``partial``).
+
+    ``dynamic_order=False`` matches atoms in textual order (the ablation
+    baseline); the default picks the most-constrained atom each step."""
+    assignment = dict(partial or {})
+    yield from _search(
+        list(atoms), target, assignment, injective, dynamic_order
+    )
+
+
+def find_extension(
+    atoms: Sequence[Atom],
+    target: Instance,
+    partial: Mapping[Var, object] | None = None,
+    *,
+    injective: bool = False,
+) -> dict[Var, object] | None:
+    """The first extension found, or ``None``."""
+    for assignment in all_extensions_of(
+        atoms, target, partial, injective=injective
+    ):
+        return assignment
+    return None
+
+
+def satisfies_atoms(
+    atoms: Sequence[Atom],
+    target: Instance,
+    partial: Mapping[Var, object] | None = None,
+) -> bool:
+    """Does some extension of ``partial`` map all atoms into ``target``?"""
+    return find_extension(atoms, target, partial) is not None
+
+
+def _source_as_atoms(source: Instance) -> tuple[list[Atom], dict[object, Var]]:
+    """Encode an instance as a conjunction of atoms, one variable per
+    active-domain element."""
+    as_var: dict[object, Var] = {}
+    for i, elem in enumerate(sorted(source.active_domain, key=element_sort_key)):
+        as_var[elem] = Var(f"__h{i}")
+    atoms = [
+        Atom(fact.relation, tuple(as_var[e] for e in fact.elements))
+        for fact in sorted(source.facts())
+    ]
+    return atoms, as_var
+
+
+def all_homomorphisms(
+    source: Instance,
+    target: Instance,
+    fixed: Mapping[object, object] | None = None,
+    *,
+    injective: bool = False,
+) -> Iterator[dict[object, object]]:
+    """All homomorphisms ``h : dom(source) → dom(target)``.
+
+    ``fixed`` pins selected source elements to target elements.  Inactive
+    source elements are mapped to an arbitrary target element (their image
+    is unconstrained); if the target domain is empty and the source has
+    elements, no homomorphism exists.
+    """
+    source._check_same_schema(target)
+    fixed = dict(fixed or {})
+    inactive = source.domain - source.active_domain - set(fixed)
+    if source.domain and not target.domain:
+        return
+    filler = (
+        min(target.domain, key=element_sort_key) if target.domain else None
+    )
+    atoms, as_var = _source_as_atoms(source)
+    partial = {}
+    for elem, value in fixed.items():
+        if elem in as_var:
+            partial[as_var[elem]] = value
+    for assignment in all_extensions_of(
+        atoms, target, partial, injective=injective
+    ):
+        hom: dict[object, object] = {
+            elem: assignment[var] for elem, var in as_var.items()
+        }
+        hom.update(fixed)
+        if injective:
+            # Inactive elements are unconstrained but must keep the map
+            # injective: give each a distinct unused target element.
+            used = set(hom.values())
+            if len(used) != len(hom):
+                continue
+            spare = sorted(target.domain - used, key=element_sort_key)
+            if len(spare) < len(inactive):
+                continue
+            for elem, value in zip(sorted(inactive, key=element_sort_key), spare):
+                hom[elem] = value
+        else:
+            for elem in inactive:
+                hom[elem] = filler
+        yield hom
+
+
+def find_homomorphism(
+    source: Instance,
+    target: Instance,
+    fixed: Mapping[object, object] | None = None,
+    *,
+    injective: bool = False,
+) -> dict[object, object] | None:
+    """The first homomorphism found, or ``None``."""
+    for hom in all_homomorphisms(source, target, fixed, injective=injective):
+        return hom
+    return None

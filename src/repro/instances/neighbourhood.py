@@ -1,0 +1,126 @@
+"""m-neighbourhoods (Section 3.3) and the subinstance iterators they need.
+
+The *m-neighbourhood* of a finite set ``F ⊆ adom(J)`` in ``J`` is the set
+of instances ``{J' | F ⊆ adom(J'), J' ≤ J, |adom(J')| ≤ |F| + m}``; the
+m-neighbourhood of a subinstance ``K ⊆ J`` is the m-neighbourhood of
+``adom(K)``.
+
+Neighbourhood members that differ only in inactive domain elements have
+the same facts, and every fact-level question asked about a neighbourhood
+(embeddability into some ``I`` fixing ``F``) is monotone under ``⊆``.  The
+iterators below therefore yield one canonical member per induced domain
+subset, which is complete for all the checks in this library:
+
+* every ``J' ≤ J`` equals the induced restriction ``J|_{dom(J')}``, and
+* if the restriction ``J|_D`` embeds into ``I`` (identity on ``F``), so
+  does every ``J'' ≤ J`` with the same active domain.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator
+
+from ..lang.terms import element_sort_key
+from .instance import Instance, InstanceError
+
+__all__ = [
+    "m_neighbourhood",
+    "maximal_m_neighbourhood_members",
+    "induced_subinstances",
+    "subinstances_with_adom_at_most",
+]
+
+
+def _sorted_elements(elements: Iterable[object]) -> list:
+    return sorted(elements, key=element_sort_key)
+
+
+def induced_subinstances(
+    instance: Instance,
+    *,
+    base: frozenset | None = None,
+    max_extra: int | None = None,
+) -> Iterator[Instance]:
+    """Induced restrictions ``I|_D`` for ``base ⊆ D ⊆ adom(I) ∪ base``.
+
+    ``max_extra`` bounds ``|D \\ base|``.  Restrictions are enumerated over
+    the active domain: adding inactive elements never changes the facts.
+    """
+    base = base or frozenset()
+    if not base <= instance.domain:
+        raise InstanceError("base must be a subset of dom(I)")
+    pool = _sorted_elements(instance.active_domain - base)
+    limit = len(pool) if max_extra is None else min(max_extra, len(pool))
+    for size in range(limit + 1):
+        for extra in itertools.combinations(pool, size):
+            yield instance.restrict(base | set(extra))
+
+
+def subinstances_with_adom_at_most(
+    instance: Instance, bound: int
+) -> Iterator[Instance]:
+    """All induced ``K ≤ I`` (one per domain subset) with ``|adom(K)| ≤ bound``.
+
+    Used for the "for every K ≤ I with |adom(K)| ≤ n" quantifier of local
+    embeddability.  The empty restriction is always yielded first.
+    """
+    pool = _sorted_elements(instance.active_domain)
+    for size in range(min(bound, len(pool)) + 1):
+        for subset in itertools.combinations(pool, size):
+            restriction = instance.restrict(frozenset(subset))
+            # A strict subset of the chosen elements may be inactive in the
+            # restriction; such a K is produced (with the same facts) by a
+            # smaller subset, so skip duplicates.
+            if len(restriction.active_domain) == size:
+                yield restriction
+
+
+def m_neighbourhood(
+    host: Instance, anchor: Instance | Iterable[object], m: int
+) -> Iterator[Instance]:
+    """The m-neighbourhood of ``anchor`` in ``host`` (canonical members).
+
+    ``anchor`` is either a set ``F ⊆ adom(host)`` or an instance ``K``
+    (then ``F = adom(K)``).  Yields the induced restriction ``host|_D``
+    for every ``F ⊆ D ⊆ adom(host)`` with ``|D| ≤ |F| + m`` in which all
+    of ``F`` is still active.
+    """
+    if isinstance(anchor, Instance):
+        focus = anchor.active_domain
+    else:
+        focus = frozenset(anchor)
+    if not focus <= host.active_domain:
+        # Elements of F that are inactive in the host can never become
+        # active in a restriction, so the neighbourhood is empty.
+        return
+    for candidate in induced_subinstances(host, base=focus, max_extra=m):
+        if focus <= candidate.active_domain:
+            yield candidate
+
+
+def maximal_m_neighbourhood_members(
+    host: Instance, anchor: Instance | Iterable[object], m: int
+) -> Iterator[Instance]:
+    """Only the ⊆-maximal members (those with exactly ``|F| + m`` extra
+    elements, plus the base restriction when the host is small).
+
+    Sufficient for *embeddability* checks: if a maximal member embeds into
+    ``I`` fixing ``F``, every subinstance of it embeds via the same map.
+    Note the converse direction of locality checks (finding a violating
+    ``J'``) must still consider all members; use :func:`m_neighbourhood`.
+    """
+    if isinstance(anchor, Instance):
+        focus = anchor.active_domain
+    else:
+        focus = frozenset(anchor)
+    if not focus <= host.active_domain:
+        # No member can have all of F active: the neighbourhood is empty
+        # (this arises for F-guarded anchors with empty K, Section 8.1).
+        return
+    pool = _sorted_elements(host.active_domain - focus)
+    size = min(m, len(pool))
+    for extra in itertools.combinations(pool, size):
+        candidate = host.restrict(focus | set(extra))
+        if focus <= candidate.active_domain:
+            yield candidate

@@ -1,0 +1,115 @@
+"""Algebraic operations on instances: ⊗, ∩, ∪, disjoint union, renaming apart.
+
+These are exactly the operations the paper's closure properties quantify
+over: direct products (Definition 3.3), intersections (Definition 5.5),
+unions and disjoint unions (used in the Section 9 lower-bound arguments).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from ..lang.schema import Relation
+from ..lang.terms import Const, FreshConsts
+from .instance import Instance, InstanceError
+
+__all__ = [
+    "direct_product",
+    "direct_product_many",
+    "intersection",
+    "union",
+    "disjoint_union",
+    "rename_apart",
+]
+
+
+def direct_product(left: Instance, right: Instance) -> Instance:
+    """``I ⊗ J`` (Definition in Section 3.2).
+
+    The domain is the cartesian product; a tuple of pairs is a fact iff its
+    left projection is a fact of ``I`` and its right projection a fact of
+    ``J``.  Domain elements of the product are Python pairs ``(a, b)``.
+    """
+    left._check_same_schema(right)
+    domain = {
+        (a, b) for a in left.domain for b in right.domain
+    }
+    relations: dict[Relation, set[tuple]] = {}
+    for rel in left.schema:
+        tuples = set()
+        for ltup, rtup in itertools.product(
+            left.tuples(rel), right.tuples(rel)
+        ):
+            tuples.add(tuple(zip(ltup, rtup)))
+        relations[rel] = tuples
+    return Instance(left.schema, domain, relations)
+
+
+def direct_product_many(instances: Sequence[Instance]) -> Instance:
+    """``I1 ⊗ I2 ⊗ ... ⊗ Ik`` with flat k-tuples as domain elements.
+
+    Using flat tuples (rather than nested pairs) matches the component
+    notation ``c[i]`` used in the proof of Claim 4.8.
+    """
+    if not instances:
+        raise InstanceError("direct product of zero instances is undefined")
+    first = instances[0]
+    for other in instances[1:]:
+        first._check_same_schema(other)
+    domain = set(itertools.product(*(inst.domain for inst in instances)))
+    relations: dict[Relation, set[tuple]] = {}
+    for rel in first.schema:
+        tuples = set()
+        for combo in itertools.product(
+            *(inst.tuples(rel) for inst in instances)
+        ):
+            # combo is a k-tuple of ar(rel)-tuples; transpose it so that
+            # position j holds the k-tuple of j-th components.
+            tuples.add(tuple(zip(*combo)) if rel.arity else ())
+        relations[rel] = tuples
+    return Instance(first.schema, domain, relations)
+
+
+def intersection(left: Instance, right: Instance) -> Instance:
+    """``I ∩ J`` (Section 5): intersect domains and relations pointwise."""
+    left._check_same_schema(right)
+    domain = left.domain & right.domain
+    relations = {
+        rel: left.tuples(rel) & right.tuples(rel) for rel in left.schema
+    }
+    return Instance(left.schema, domain, relations)
+
+
+def union(left: Instance, right: Instance) -> Instance:
+    """``I ∪ J``: union of domains and of relations pointwise."""
+    left._check_same_schema(right)
+    domain = left.domain | right.domain
+    relations = {
+        rel: left.tuples(rel) | right.tuples(rel) for rel in left.schema
+    }
+    return Instance(left.schema, domain, relations)
+
+
+def rename_apart(
+    instance: Instance,
+    avoid: Iterable[object],
+    prefix: str = "@r",
+) -> Instance:
+    """An isomorphic copy whose domain avoids ``avoid`` entirely."""
+    avoid_set = set(avoid)
+    fresh = FreshConsts(
+        prefix=prefix,
+        avoid=(e for e in avoid_set | set(instance.domain) if isinstance(e, Const)),
+    )
+    mapping = {
+        elem: (fresh() if elem in avoid_set else elem)
+        for elem in instance.domain
+    }
+    return instance.rename(mapping)
+
+
+def disjoint_union(left: Instance, right: Instance) -> Instance:
+    """``I ⊎ J``: union after renaming ``right`` apart from ``left``."""
+    left._check_same_schema(right)
+    return union(left, rename_apart(right, left.domain))

@@ -1,0 +1,245 @@
+"""A small text format for dependencies and instances.
+
+Dependencies (constant-free, as in the paper)::
+
+    R(x, y), S(y, z) -> T(x, z)              # full tgd
+    R(x, y) -> exists z . R(y, z)            # tgd with an existential
+    -> exists z . Start(z)                   # empty-body tgd
+    E(x, y), E(x, z) -> y = z                # egd
+    P(x) -> Q(x) | exists y . R(x, y)        # edd (disjunctive head)
+
+All bare identifiers inside dependency atoms are **variables** (the paper's
+dependencies are constant-free).  The ``exists`` prefix is optional for
+tgds — existential variables are exactly the head variables that do not
+occur in the body — but when present it is validated.
+
+Instances (ground facts; bare identifiers are **constants**)::
+
+    R(a, b). S(b). T(a, a)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from .atoms import Atom, Fact
+from .schema import Relation, Schema, SchemaError
+from .terms import Const, Var
+
+__all__ = [
+    "ParseError",
+    "parse_atom",
+    "parse_atoms",
+    "parse_fact",
+    "parse_facts",
+    "parse_dependency",
+    "parse_tgd",
+    "parse_egd",
+    "parse_edd",
+    "parse_tgds",
+]
+
+
+class ParseError(ValueError):
+    """Raised on malformed rule or instance text."""
+
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_']*"
+_ATOM_RE = re.compile(rf"\s*({_IDENT})\s*\(([^()]*)\)\s*")
+_EXISTS_RE = re.compile(rf"\s*exists\s+((?:{_IDENT}\s*,\s*)*{_IDENT})\s*\.\s*(.*)$", re.S)
+_EQ_RE = re.compile(rf"^\s*({_IDENT})\s*=\s*({_IDENT})\s*$")
+
+
+def _split_top_level(text: str, sep: str) -> list[str]:
+    """Split on ``sep`` outside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise ParseError(f"unbalanced parentheses in {text!r}")
+        if char == sep and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise ParseError(f"unbalanced parentheses in {text!r}")
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_atom_text(
+    text: str, schema: Schema | None, *, as_constants: bool
+) -> Atom | Fact:
+    match = _ATOM_RE.fullmatch(text)
+    if match is None:
+        raise ParseError(f"malformed atom: {text!r}")
+    name, args_text = match.group(1), match.group(2).strip()
+    arg_names = (
+        [] if not args_text else [a.strip() for a in args_text.split(",")]
+    )
+    for arg in arg_names:
+        if not re.fullmatch(_IDENT, arg):
+            raise ParseError(f"malformed argument {arg!r} in {text!r}")
+    if schema is not None:
+        relation = schema.relation(name)
+        if relation.arity != len(arg_names):
+            raise SchemaError(
+                f"{name} has arity {relation.arity}, got {len(arg_names)} args"
+            )
+    else:
+        relation = Relation(name, len(arg_names))
+    if as_constants:
+        return Fact(relation, tuple(Const(a) for a in arg_names))
+    return Atom(relation, tuple(Var(a) for a in arg_names))
+
+
+def parse_atom(text: str, schema: Schema | None = None) -> Atom:
+    """Parse one atom whose arguments are variables."""
+    atom = _parse_atom_text(text, schema, as_constants=False)
+    assert isinstance(atom, Atom)
+    return atom
+
+
+def parse_atoms(text: str, schema: Schema | None = None) -> tuple[Atom, ...]:
+    """Parse a comma-separated conjunction of atoms ('' means empty)."""
+    text = text.strip()
+    if not text:
+        return ()
+    return tuple(parse_atom(part, schema) for part in _split_top_level(text, ","))
+
+
+def parse_fact(text: str, schema: Schema | None = None) -> Fact:
+    """Parse one ground fact whose arguments are constants."""
+    fact = _parse_atom_text(text, schema, as_constants=True)
+    assert isinstance(fact, Fact)
+    return fact
+
+
+def parse_facts(text: str, schema: Schema | None = None) -> tuple[Fact, ...]:
+    """Parse facts separated by '.', ';', or newlines."""
+    chunks = re.split(r"[.;\n]+", text)
+    return tuple(
+        parse_fact(chunk, schema) for chunk in chunks if chunk.strip()
+    )
+
+
+def _parse_head_conjunct(text: str, schema: Schema | None):
+    """Parse one head disjunct: equality or (exists-prefixed) conjunction.
+
+    Returns ``("eq", x, y)`` or ``("conj", declared_exists, atoms)``.
+    """
+    eq_match = _EQ_RE.match(text)
+    if eq_match is not None:
+        return ("eq", Var(eq_match.group(1)), Var(eq_match.group(2)))
+    declared: tuple[Var, ...] = ()
+    exists_match = _EXISTS_RE.match(text)
+    if exists_match is not None:
+        declared = tuple(
+            Var(v.strip()) for v in exists_match.group(1).split(",")
+        )
+        text = exists_match.group(2)
+    atoms = parse_atoms(text, schema)
+    if not atoms:
+        raise ParseError("dependency head conjunct must be non-empty")
+    return ("conj", declared, atoms)
+
+
+def _check_declared_existentials(
+    declared: tuple[Var, ...], body_vars: set[Var], atoms: Iterable[Atom]
+) -> None:
+    if not declared:
+        return
+    actual = {
+        var
+        for atom in atoms
+        for var in atom.variables()
+        if var not in body_vars
+    }
+    if set(declared) != actual:
+        raise ParseError(
+            f"declared existentials {sorted(v.name for v in declared)} "
+            f"differ from actual {sorted(v.name for v in actual)}"
+        )
+
+
+def parse_dependency(text: str, schema: Schema | None = None):
+    """Parse a tgd, egd, or edd; the result type depends on the head."""
+    from ..dependencies.edd import EDD, EqualityDisjunct, ExistentialDisjunct
+    from ..dependencies.egd import EGD
+    from ..dependencies.tgd import TGD
+
+    body_text, sep, head_text = text.partition("->")
+    if not sep:
+        raise ParseError(f"missing '->' in {text!r}")
+    body = parse_atoms(body_text, schema)
+    body_vars = {var for atom in body for var in atom.variables()}
+    if head_text.strip() in ("false", "⊥", "bottom"):
+        from ..dependencies.denial import DenialConstraint
+
+        return DenialConstraint(body)
+    disjunct_texts = _split_top_level(head_text, "|")
+    parsed = [_parse_head_conjunct(part, schema) for part in disjunct_texts]
+
+    if len(parsed) == 1:
+        kind = parsed[0][0]
+        if kind == "eq":
+            __, lhs, rhs = parsed[0]
+            return EGD(body, lhs, rhs)
+        __, declared, atoms = parsed[0]
+        _check_declared_existentials(declared, body_vars, atoms)
+        return TGD(body, atoms)
+
+    disjuncts = []
+    for item in parsed:
+        if item[0] == "eq":
+            disjuncts.append(EqualityDisjunct(item[1], item[2]))
+        else:
+            __, declared, atoms = item
+            _check_declared_existentials(declared, body_vars, atoms)
+            disjuncts.append(ExistentialDisjunct(atoms))
+    return EDD(body, tuple(disjuncts))
+
+
+def parse_tgd(text: str, schema: Schema | None = None):
+    """Parse a tgd; raise :class:`ParseError` if the text is not a tgd."""
+    from ..dependencies.tgd import TGD
+
+    dep = parse_dependency(text, schema)
+    if not isinstance(dep, TGD):
+        raise ParseError(f"not a tgd: {text!r}")
+    return dep
+
+
+def parse_egd(text: str, schema: Schema | None = None):
+    from ..dependencies.egd import EGD
+
+    dep = parse_dependency(text, schema)
+    if not isinstance(dep, EGD):
+        raise ParseError(f"not an egd: {text!r}")
+    return dep
+
+
+def parse_edd(text: str, schema: Schema | None = None):
+    from ..dependencies.edd import EDD
+
+    dep = parse_dependency(text, schema)
+    if isinstance(dep, EDD):
+        return dep
+    return dep.as_edd()
+
+
+def parse_tgds(text: str, schema: Schema | None = None) -> tuple:
+    """Parse several tgds, one per (non-empty, non-comment) line."""
+    tgds = []
+    for line in text.splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            tgds.append(parse_tgd(line, schema))
+    return tuple(tgds)

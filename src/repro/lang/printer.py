@@ -1,0 +1,57 @@
+"""Deterministic pretty-printers for dependency sets and instances."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..lang.terms import element_sort_key
+
+__all__ = ["format_dependencies", "format_instance", "format_table"]
+
+
+def format_dependencies(dependencies: Iterable, indent: str = "  ") -> str:
+    """One numbered dependency per line."""
+    lines = [
+        f"{indent}{i + 1}. {dep}"
+        for i, dep in enumerate(dependencies)
+    ]
+    return "\n".join(lines) if lines else f"{indent}(empty set)"
+
+
+def format_instance(instance, indent: str = "  ") -> str:
+    """Facts grouped per relation, sorted."""
+    lines = []
+    for rel in instance.schema:
+        tuples = sorted(instance.tuples(rel), key=element_sort_key)
+        if not tuples:
+            continue
+        rendered = ", ".join(
+            f"({', '.join(str(e) for e in tup)})" if tup else "()"
+            for tup in tuples
+        )
+        lines.append(f"{indent}{rel.name}: {rendered}")
+    dead = sorted(
+        instance.domain - instance.active_domain, key=element_sort_key
+    )
+    if dead:
+        lines.append(
+            f"{indent}inactive: {', '.join(str(e) for e in dead)}"
+        )
+    return "\n".join(lines) if lines else f"{indent}(empty instance)"
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """A plain fixed-width text table (used by the benchmark reports)."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered))
+        if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)

@@ -1,0 +1,7 @@
+"""Ontologies as semantic objects."""
+
+from .axiomatic import AxiomaticOntology
+from .base import Ontology
+from .finite import FiniteOntology
+
+__all__ = ["AxiomaticOntology", "FiniteOntology", "Ontology"]

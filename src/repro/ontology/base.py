@@ -1,0 +1,61 @@
+"""Ontologies as semantic objects.
+
+From a semantic point of view an ontology over a schema **S** is an
+isomorphism-closed class of **S**-instances (finite or infinite).  The
+library works with two effective presentations:
+
+* :class:`repro.ontology.axiomatic.AxiomaticOntology` — the models of a
+  finite set of dependencies (a C-ontology when the set is in class C);
+* :class:`repro.ontology.finite.FiniteOntology` — the isomorphism closure
+  of an explicit finite family, for hand-built (counter)examples.
+
+Both expose the two operations every property checker needs:
+membership, and a search for members extending a given instance (the
+``J_K`` witnesses of local embeddability).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from ..instances.instance import Instance
+from ..lang.schema import Schema
+
+__all__ = ["Ontology"]
+
+
+class Ontology(abc.ABC):
+    """An isomorphism-closed class of instances over a fixed schema."""
+
+    @property
+    @abc.abstractmethod
+    def schema(self) -> Schema:
+        """The schema the ontology is over."""
+
+    @abc.abstractmethod
+    def contains(self, instance: Instance) -> bool:
+        """Membership: is the instance in the ontology?"""
+
+    @abc.abstractmethod
+    def members(self, max_domain_size: int) -> Iterator[Instance]:
+        """All members with domain ``{a0..a{k-1}}``, k ≤ bound.
+
+        By isomorphism closure this family represents every member with
+        at most ``max_domain_size`` elements.
+        """
+
+    @abc.abstractmethod
+    def supersets_of(
+        self, anchor: Instance, extra_budget: int
+    ) -> Iterator[Instance]:
+        """Members ``J`` with ``anchor ⊆ J`` (fact containment, on the
+        anchor's own elements), using at most ``extra_budget`` additional
+        domain elements.
+
+        This is the witness search behind local embeddability: the
+        ``J_K ∈ O`` with ``K ⊆ J_K`` of Definitions 3.5/6.1/7.1/8.1.
+        """
+
+    def __contains__(self, instance: Instance) -> bool:
+        return self.contains(instance)

@@ -1,0 +1,89 @@
+"""Ontologies presented as the isomorphism closure of an explicit family.
+
+Useful for hand-built examples and counterexamples: the paper's own
+separation arguments (Section 9.1) reason about concrete one- and
+two-element instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator
+
+from ..homomorphisms.isomorphism import are_isomorphic
+from ..homomorphisms.search import all_homomorphisms
+from ..instances.enumeration import all_instances_up_to
+from ..instances.instance import Instance
+from ..lang.schema import Schema
+from ..lang.terms import Const
+from .base import Ontology
+
+__all__ = ["FiniteOntology"]
+
+
+class FiniteOntology(Ontology):
+    """The smallest isomorphism-closed class containing the seeds."""
+
+    def __init__(self, seeds: Iterable[Instance], schema: Schema | None = None):
+        self._seeds = tuple(seeds)
+        if schema is None:
+            if not self._seeds:
+                raise ValueError("schema required for an empty ontology")
+            schema = self._seeds[0].schema
+        self._schema = schema
+        for seed in self._seeds:
+            if seed.schema != schema:
+                raise ValueError("all seeds must share the ontology schema")
+
+    @property
+    def seeds(self) -> tuple[Instance, ...]:
+        return self._seeds
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def contains(self, instance: Instance) -> bool:
+        return any(
+            are_isomorphic(instance, seed) for seed in self._seeds
+        )
+
+    def members(self, max_domain_size: int) -> Iterator[Instance]:
+        for candidate in all_instances_up_to(self._schema, max_domain_size):
+            if self.contains(candidate):
+                yield candidate
+
+    def supersets_of(
+        self, anchor: Instance, extra_budget: int
+    ) -> Iterator[Instance]:
+        """Isomorphic copies of seeds that contain ``anchor``'s facts.
+
+        A seed ``M`` yields a witness for every injective homomorphism
+        ``g`` of ``anchor`` into ``M``: rename ``M`` along ``g⁻¹``
+        (fresh names elsewhere), so the image of ``anchor`` becomes
+        ``anchor`` itself.
+        """
+        seen: set[Instance] = set()
+        for seed in self._seeds:
+            if len(seed.domain) - len(anchor.active_domain) > extra_budget:
+                continue
+            for g in all_homomorphisms(anchor, seed, injective=True):
+                renaming: dict = {g[elem]: elem for elem in anchor.domain}
+                counter = itertools.count()
+                for elem in seed.domain:
+                    if elem not in renaming:
+                        while True:
+                            fresh = Const(f"@w{next(counter)}")
+                            if (
+                                fresh not in anchor.domain
+                                and fresh not in renaming.values()
+                            ):
+                                break
+                        renaming[elem] = fresh
+                witness = seed.rename(renaming)
+                if witness not in seen:
+                    seen.add(witness)
+                    yield witness
+
+    def __repr__(self) -> str:
+        return f"FiniteOntology<{len(self._seeds)} seeds over {self._schema}>"

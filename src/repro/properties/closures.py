@@ -1,0 +1,198 @@
+"""Closure properties of ontologies.
+
+Checked exhaustively over members with a bounded domain:
+
+* ∩-closure (Definition 5.5) — FTGD-ontologies are closed;
+* closure under unions — LTGD-ontologies are closed (used for the
+  Rewrite(GTGD, LTGD) lower bound, Appendix F);
+* closure under *disjoint* unions — GTGD-ontologies are closed (used for
+  the Rewrite(FGTGD, GTGD) lower bound);
+* closure under subinstances (Claim B.1);
+* closure under oblivious / non-oblivious duplicating extensions
+  (Section 5 — the oblivious form is Makowsky–Vardi's and is *wrong* for
+  full tgds, Example 5.2; the non-oblivious form is the paper's fix);
+* domain independence (Definition 3.7).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable
+
+from ..instances.critical import (
+    all_non_oblivious_duplicating_extensions,
+    oblivious_duplicating_extension,
+)
+from ..instances.instance import Instance
+from ..instances.neighbourhood import induced_subinstances
+from ..instances.operations import disjoint_union, intersection, union
+from ..lang.terms import Const, element_sort_key
+from ..ontology.base import Ontology
+from .report import PropertyReport, failing, passing
+
+__all__ = [
+    "binary_closure_report",
+    "intersection_closure_report",
+    "union_closure_report",
+    "disjoint_union_closure_report",
+    "subinstance_closure_report",
+    "duplicating_extension_closure_report",
+    "domain_independence_report",
+]
+
+
+def binary_closure_report(
+    ontology: Ontology,
+    operation: Callable[[Instance, Instance], Instance],
+    operation_name: str,
+    max_domain_size: int = 2,
+    *,
+    max_pairs: int | None = None,
+) -> PropertyReport:
+    """Generic ``I, J ∈ O ⟹ op(I, J) ∈ O`` check over bounded members."""
+    members = list(ontology.members(max_domain_size))
+    checked = 0
+    for left, right in itertools.product(members, repeat=2):
+        if max_pairs is not None and checked >= max_pairs:
+            break
+        checked += 1
+        combined = operation(left, right)
+        if not ontology.contains(combined):
+            return failing(
+                f"closure under {operation_name}",
+                (left, right, combined),
+                checked=checked,
+                scope=f"members with ≤ {max_domain_size} elements",
+            )
+    return passing(
+        f"closure under {operation_name}",
+        checked=checked,
+        scope=f"members with ≤ {max_domain_size} elements",
+    )
+
+
+def intersection_closure_report(
+    ontology: Ontology, max_domain_size: int = 2, **kwargs
+) -> PropertyReport:
+    return binary_closure_report(
+        ontology, intersection, "intersections", max_domain_size, **kwargs
+    )
+
+
+def union_closure_report(
+    ontology: Ontology, max_domain_size: int = 2, **kwargs
+) -> PropertyReport:
+    return binary_closure_report(
+        ontology, union, "unions", max_domain_size, **kwargs
+    )
+
+
+def disjoint_union_closure_report(
+    ontology: Ontology, max_domain_size: int = 2, **kwargs
+) -> PropertyReport:
+    return binary_closure_report(
+        ontology, disjoint_union, "disjoint unions", max_domain_size, **kwargs
+    )
+
+
+def subinstance_closure_report(
+    ontology: Ontology, max_domain_size: int = 2
+) -> PropertyReport:
+    """``I ∈ O`` and ``J ≤ I`` imply ``J ∈ O`` (Claim B.1 situation)."""
+    checked = 0
+    for member in ontology.members(max_domain_size):
+        for sub in induced_subinstances(member):
+            checked += 1
+            if not ontology.contains(sub):
+                return failing(
+                    "closure under subinstances",
+                    (member, sub),
+                    checked=checked,
+                    scope=f"members with ≤ {max_domain_size} elements",
+                )
+    return passing(
+        "closure under subinstances",
+        checked=checked,
+        scope=f"members with ≤ {max_domain_size} elements",
+    )
+
+
+def duplicating_extension_closure_report(
+    ontology: Ontology,
+    max_domain_size: int = 2,
+    *,
+    oblivious: bool = False,
+) -> PropertyReport:
+    """Closure under (non-)oblivious duplicating extensions.
+
+    With ``oblivious=True`` this checks the original Makowsky–Vardi
+    notion, which Example 5.2 refutes for full tgds.
+    """
+    flavour = "oblivious" if oblivious else "non-oblivious"
+    checked = 0
+    for member in ontology.members(max_domain_size):
+        if oblivious:
+            extensions = []
+            index = 0
+            for source in sorted(member.domain, key=element_sort_key):
+                while Const(f"@d{index}") in member.domain:
+                    index += 1
+                fresh = Const(f"@d{index}")
+                index += 1
+                extensions.append(
+                    (source, oblivious_duplicating_extension(member, source, fresh))
+                )
+        else:
+            extensions = list(
+                all_non_oblivious_duplicating_extensions(member)
+            )
+        for source, extension in extensions:
+            checked += 1
+            if not ontology.contains(extension):
+                return failing(
+                    f"closure under {flavour} duplicating extensions",
+                    (member, source, extension),
+                    checked=checked,
+                    scope=f"members with ≤ {max_domain_size} elements",
+                )
+    return passing(
+        f"closure under {flavour} duplicating extensions",
+        checked=checked,
+        scope=f"members with ≤ {max_domain_size} elements",
+    )
+
+
+def domain_independence_report(
+    ontology: Ontology,
+    instance_space: Iterable[Instance],
+    *,
+    extra_elements: int = 1,
+) -> PropertyReport:
+    """Domain independence (Definition 3.7): membership depends on the
+    facts only.  For each instance in the space, compare membership with
+    copies whose domain gains inactive elements (every pair with equal
+    facts differs from a common fact-core only by inactive elements)."""
+    checked = 0
+    for instance in instance_space:
+        base = instance.shrink_domain()
+        verdict = ontology.contains(base)
+        padding = []
+        index = 0
+        while len(padding) < extra_elements:
+            candidate = Const(f"@pad{index}")
+            index += 1
+            if candidate not in base.domain:
+                padding.append(candidate)
+        for count in range(1, extra_elements + 1):
+            padded = base.with_domain(
+                set(base.domain) | set(padding[:count])
+            )
+            checked += 1
+            if ontology.contains(padded) != verdict:
+                return failing(
+                    "domain independence",
+                    (base, padded),
+                    checked=checked,
+                    details="membership changed with an inactive element",
+                )
+    return passing("domain independence", checked=checked, scope="given space")

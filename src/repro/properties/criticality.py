@@ -1,0 +1,42 @@
+"""Criticality (Definition 3.1) and 1-criticality.
+
+An ontology is *k-critical* if it contains a k-critical instance, and
+*critical* if it is k-critical for every k > 0.  Every TGD-ontology is
+critical (Lemma 3.2): a critical instance satisfies every tgd because any
+head can be satisfied by mapping the existentials anywhere.
+
+Checking k-criticality is exact: by isomorphism closure it suffices to
+test membership of *the* canonical k-critical instance.
+"""
+
+from __future__ import annotations
+
+from ..instances.critical import critical_instance
+from ..ontology.base import Ontology
+from .report import PropertyReport, failing, passing
+
+__all__ = ["is_k_critical", "criticality_report"]
+
+
+def is_k_critical(ontology: Ontology, k: int) -> bool:
+    """Does the ontology contain a k-critical instance?  Exact."""
+    return ontology.contains(critical_instance(ontology.schema, k))
+
+
+def criticality_report(ontology: Ontology, max_k: int = 4) -> PropertyReport:
+    """Check k-criticality for every ``k = 1 .. max_k``.
+
+    Criticality quantifies over all k; the report covers the stated
+    range exhaustively (for TGD-ontologies a failure at any k already
+    refutes tgd-axiomatizability).
+    """
+    for k in range(1, max_k + 1):
+        if not is_k_critical(ontology, k):
+            return failing(
+                "criticality",
+                critical_instance(ontology.schema, k),
+                checked=k,
+                scope=f"k <= {max_k}",
+                details=f"the {k}-critical instance is not a member",
+            )
+    return passing("criticality", checked=max_k, scope=f"k <= {max_k}")

@@ -1,0 +1,59 @@
+"""n-modularity (Definition 5.4).
+
+An ontology is *n-modular* if every non-member contains a small witness
+of non-membership: some ``J ≤ I`` with ``|dom(J)| ≤ n`` and ``J ∉ O``.
+(FTGD-ontologies are n-modular for n = the max body variable count.)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from ..instances.instance import Instance
+from ..lang.terms import element_sort_key
+from ..ontology.base import Ontology
+from .report import PropertyReport, failing, passing
+
+__all__ = ["small_refutation", "is_n_modular_for", "modularity_report"]
+
+
+def small_refutation(
+    ontology: Ontology, instance: Instance, n: int
+) -> Instance | None:
+    """A ``J ≤ instance`` with ``|dom(J)| ≤ n`` and ``J ∉ O``, if any."""
+    pool = sorted(instance.domain, key=element_sort_key)
+    for size in range(min(n, len(pool)) + 1):
+        for subset in itertools.combinations(pool, size):
+            candidate = instance.restrict(frozenset(subset))
+            if not ontology.contains(candidate):
+                return candidate
+    return None
+
+
+def is_n_modular_for(
+    ontology: Ontology, instance: Instance, n: int
+) -> bool:
+    """Does the modularity condition hold at this (non-member) instance?"""
+    if ontology.contains(instance):
+        return True
+    return small_refutation(ontology, instance, n) is not None
+
+
+def modularity_report(
+    ontology: Ontology,
+    n: int,
+    instance_space: Iterable[Instance],
+) -> PropertyReport:
+    """Check n-modularity over an explicit instance space."""
+    checked = 0
+    for instance in instance_space:
+        checked += 1
+        if not is_n_modular_for(ontology, instance, n):
+            return failing(
+                f"{n}-modularity",
+                instance,
+                checked=checked,
+                details="non-member without a small refuting subinstance",
+            )
+    return passing(f"{n}-modularity", checked=checked, scope="given space")

@@ -1,0 +1,54 @@
+"""Closure under direct products (Definition 3.3).
+
+Every TGD-ontology is closed under direct products (Lemma 3.4, implicit
+in Chang–Keisler): given triggers in ``I ⊗ J``, project them to ``I`` and
+``J``, satisfy the head on each side, and pair the witnesses.
+
+The checker is exhaustive over members with a bounded domain.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..instances.instance import Instance
+from ..instances.operations import direct_product
+from ..ontology.base import Ontology
+from .report import PropertyReport, failing, passing
+
+__all__ = ["product_in_ontology", "product_closure_report"]
+
+
+def product_in_ontology(
+    ontology: Ontology, left: Instance, right: Instance
+) -> bool:
+    """Is ``left ⊗ right`` a member?  (Both arguments should be members.)"""
+    return ontology.contains(direct_product(left, right))
+
+
+def product_closure_report(
+    ontology: Ontology,
+    max_domain_size: int = 2,
+    *,
+    max_pairs: int | None = None,
+) -> PropertyReport:
+    """Check ``I, J ∈ O ⟹ I ⊗ J ∈ O`` for all member pairs with at most
+    ``max_domain_size`` elements (optionally capped at ``max_pairs``)."""
+    members = list(ontology.members(max_domain_size))
+    checked = 0
+    for left, right in itertools.product(members, repeat=2):
+        if max_pairs is not None and checked >= max_pairs:
+            break
+        checked += 1
+        if not product_in_ontology(ontology, left, right):
+            return failing(
+                "closure under direct products",
+                (left, right, direct_product(left, right)),
+                checked=checked,
+                scope=f"members with ≤ {max_domain_size} elements",
+            )
+    return passing(
+        "closure under direct products",
+        checked=checked,
+        scope=f"members with ≤ {max_domain_size} elements",
+    )

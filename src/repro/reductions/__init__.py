@@ -1,0 +1,16 @@
+"""Lower-bound reductions (Appendix F)."""
+
+from .qa_reductions import (
+    ReductionInstance,
+    expected_guarded_rewriting,
+    expected_linear_rewriting,
+    reduce_fgtgd_atomic_qa_to_guarded_rewrite,
+    reduce_gtgd_atomic_qa_to_linear_rewrite,
+)
+
+__all__ = [
+    "ReductionInstance", "expected_guarded_rewriting",
+    "expected_linear_rewriting",
+    "reduce_fgtgd_atomic_qa_to_guarded_rewrite",
+    "reduce_gtgd_atomic_qa_to_linear_rewrite",
+]

@@ -1,0 +1,201 @@
+"""The Appendix F lower-bound reductions.
+
+Both reductions turn atomic query answering (``Σ ⊨ ∃x̄ Q(x̄)``) into a
+rewritability question:
+
+* Theorem 9.1 (Rewrite(GTGD, LTGD) hardness): from guarded ``Σ`` and an
+  atomic query ``Q``, build guarded ``Σ'`` such that ``Σ ⊨ ∃x̄ Q(x̄)`` iff
+  ``Σ'`` has an equivalent finite set of linear tgds.
+* Theorem 9.2 (Rewrite(FGTGD, GTGD) hardness): analogous, from
+  frontier-guarded ``Σ`` to frontier-guarded ``Σ'`` vs. guarded
+  rewritability.
+
+The construction keeps, for each source tgd, only its (frontier-)guard
+plus a 0-ary trigger ``Aux``, and adds three fresh unary predicates whose
+interaction is linear/guarded-rewritable exactly when ``Aux`` is forced:
+
+    σ_Q     = Q(x̄) → Aux
+    σ_RAux  = R(x), Aux → T(x)
+    σ_RS    = R(x), S(x) → T(x)      (guarded→linear reduction)
+    σ_RS    = R(x), S(y) → T(x)      (fg→guarded reduction)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..dependencies.classes import TGDClass, all_in_class
+from ..dependencies.tgd import TGD
+from ..lang.atoms import Atom
+from ..lang.schema import Relation, Schema
+from ..lang.terms import Var
+
+__all__ = [
+    "ReductionInstance",
+    "reduce_gtgd_atomic_qa_to_linear_rewrite",
+    "reduce_fgtgd_atomic_qa_to_guarded_rewrite",
+    "expected_linear_rewriting",
+    "expected_guarded_rewriting",
+]
+
+AUX = Relation("Aux", 0)
+
+
+def _fresh_unaries(schema: Schema) -> tuple[Relation, Relation, Relation]:
+    def fresh(base: str) -> Relation:
+        name = base
+        suffix = 0
+        while name in schema:
+            suffix += 1
+            name = f"{base}{suffix}"
+        return Relation(name, 1)
+
+    return fresh("Rx"), fresh("Sx"), fresh("Tx")
+
+
+def _aux_atom() -> Atom:
+    return Atom(AUX, ())
+
+
+@dataclass(frozen=True)
+class ReductionInstance:
+    """The output of either reduction: the constructed set Σ', the fresh
+    predicates used, and the source (Σ, Q)."""
+
+    sigma_prime: tuple[TGD, ...]
+    source: tuple[TGD, ...]
+    query: Relation
+    r: Relation
+    s: Relation
+    t: Relation
+
+    @property
+    def schema(self) -> Schema:
+        schema = Schema([AUX, self.r, self.s, self.t, self.query])
+        for tgd in self.sigma_prime:
+            schema = schema.union(tgd.schema)
+        return schema
+
+
+def _guard_of(tgd: TGD, *, frontier_only: bool) -> Atom:
+    guards = tgd.frontier_guards() if frontier_only else tgd.guards()
+    if not guards:
+        kind = "frontier-guard" if frontier_only else "guard"
+        raise ValueError(f"no {kind} in {tgd}")
+    return guards[0]
+
+
+def _sigma_aux(source: Sequence[TGD], *, frontier_only: bool) -> list[TGD]:
+    """For each source tgd keep only its guard atom plus Aux (Appendix F:
+    ``σ_Aux = G(x̄, ȳ), Aux → ∃z̄ ψ(x̄, z̄)``).
+
+    Note: ``Σ'`` additionally includes ``Σ`` itself (see
+    :func:`reduce_gtgd_atomic_qa_to_linear_rewrite`); the proof's step
+    "``I ⊨ Σ'`` implies ``I ⊨ Σ``" presupposes it — with the σ_Aux
+    rules alone, the empty instance models Σ' but not Σ whenever Σ has
+    an empty-body tgd, breaking direction (1) ⇒ (2).
+    """
+    result = []
+    for tgd in source:
+        if tgd.body:
+            guard = _guard_of(tgd, frontier_only=frontier_only)
+            result.append(TGD((guard, _aux_atom()), tgd.head))
+        else:
+            result.append(TGD((_aux_atom(),), tgd.head))
+    return result
+
+
+def _sigma_two(
+    query: Relation, r: Relation, s: Relation, t: Relation, *, shared_var: bool
+) -> list[TGD]:
+    x = Var("x")
+    y = Var("y")
+    query_atom = Atom(query, tuple(Var(f"x{i}") for i in range(query.arity)))
+    sigma_q = TGD((query_atom,), (_aux_atom(),))
+    sigma_r_aux = TGD((Atom(r, (x,)), _aux_atom()), (Atom(t, (x,)),))
+    second = Atom(s, (x,)) if shared_var else Atom(s, (y,))
+    sigma_rs = TGD((Atom(r, (x,)), second), (Atom(t, (x,)),))
+    return [sigma_q, sigma_r_aux, sigma_rs]
+
+
+def reduce_gtgd_atomic_qa_to_linear_rewrite(
+    source: Sequence[TGD], query: Relation
+) -> ReductionInstance:
+    """Theorem 9.1 lower bound: guarded Σ, atomic Q ⟼ guarded Σ'."""
+    source = tuple(source)
+    if not all_in_class(source, TGDClass.GUARDED):
+        raise ValueError("the reduction expects guarded tgds")
+    schema = _combined(source, query)
+    r, s, t = _fresh_unaries(schema)
+    sigma_prime = (
+        list(source)
+        + _sigma_aux(source, frontier_only=False)
+        + _sigma_two(query, r, s, t, shared_var=True)
+    )
+    result = ReductionInstance(
+        tuple(sigma_prime), source, query, r, s, t
+    )
+    assert all_in_class(result.sigma_prime, TGDClass.GUARDED)
+    return result
+
+
+def reduce_fgtgd_atomic_qa_to_guarded_rewrite(
+    source: Sequence[TGD], query: Relation
+) -> ReductionInstance:
+    """Theorem 9.2 lower bound: frontier-guarded Σ, atomic Q ⟼
+    frontier-guarded Σ' (``σ_RS`` uses distinct variables)."""
+    source = tuple(source)
+    if not all_in_class(source, TGDClass.FRONTIER_GUARDED):
+        raise ValueError("the reduction expects frontier-guarded tgds")
+    schema = _combined(source, query)
+    r, s, t = _fresh_unaries(schema)
+    sigma_prime = (
+        list(source)
+        + _sigma_aux(source, frontier_only=True)
+        + _sigma_two(query, r, s, t, shared_var=False)
+    )
+    result = ReductionInstance(
+        tuple(sigma_prime), source, query, r, s, t
+    )
+    assert all_in_class(result.sigma_prime, TGDClass.FRONTIER_GUARDED)
+    return result
+
+
+def expected_linear_rewriting(reduction: ReductionInstance) -> tuple[TGD, ...]:
+    """The Σ_L of the (1) ⇒ (2) direction of the Theorem 9.1 proof: drop
+    Aux from every σ_Aux, keep σ_Q, and add ``R(x) → T(x)``.
+
+    Equivalent to Σ' exactly when ``Σ ⊨ ∃x̄ Q(x̄)``.
+    """
+    rewriting: list[TGD] = []
+    for tgd in reduction.sigma_prime:
+        body_without_aux = tuple(a for a in tgd.body if a.relation != AUX)
+        if len(tgd.body) != len(body_without_aux):
+            if tgd.head == (_aux_atom(),):
+                continue
+            if body_without_aux and body_without_aux[0].relation == reduction.r:
+                continue  # σ_RAux is covered by R(x) → T(x) below
+            rewriting.append(TGD(body_without_aux, tgd.head))
+    x = Var("x")
+    query_atom = Atom(
+        reduction.query,
+        tuple(Var(f"x{i}") for i in range(reduction.query.arity)),
+    )
+    rewriting.append(TGD((query_atom,), (_aux_atom(),)))
+    rewriting.append(
+        TGD((Atom(reduction.r, (x,)),), (Atom(reduction.t, (x,)),))
+    )
+    return tuple(rewriting)
+
+
+def expected_guarded_rewriting(reduction: ReductionInstance) -> tuple[TGD, ...]:
+    """The analogous Σ_G for the Theorem 9.2 reduction."""
+    return expected_linear_rewriting(reduction)
+
+
+def _combined(source: Sequence[TGD], query: Relation) -> Schema:
+    schema = Schema([query])
+    for tgd in source:
+        schema = schema.union(tgd.schema)
+    return schema

@@ -1,0 +1,36 @@
+"""Rewritability: Algorithms 1 and 2, bounds, separations (Section 9)."""
+
+from .bounds import (
+    exact_guarded_count,
+    exact_linear_count,
+    guarded_body_bound,
+    guarded_candidate_bound,
+    head_bound,
+    linear_body_bound,
+    linear_candidate_bound,
+    tgd_size_bound,
+)
+from .rewrite import (
+    RewriteResult,
+    RewriteStatus,
+    frontier_guarded_to_guarded,
+    guarded_to_linear,
+    minimize_tgds,
+    rewrite,
+)
+from .separations import (
+    SeparationWitness,
+    guarded_vs_frontier_guarded_witness,
+    linear_vs_guarded_witness,
+    verify_separation,
+)
+
+__all__ = [
+    "exact_guarded_count", "exact_linear_count", "guarded_body_bound",
+    "guarded_candidate_bound", "head_bound", "linear_body_bound",
+    "linear_candidate_bound", "tgd_size_bound",
+    "RewriteResult", "RewriteStatus", "frontier_guarded_to_guarded",
+    "guarded_to_linear", "minimize_tgds", "rewrite",
+    "SeparationWitness", "guarded_vs_frontier_guarded_witness",
+    "linear_vs_guarded_witness", "verify_separation",
+]

@@ -1,0 +1,73 @@
+"""The counting and size bounds of Section 9.2.
+
+Theorem 9.1's analysis bounds the number of linear tgds over **S** with at
+most n universal and m existential variables by
+
+    |S| · n^{ar(S)}  ·  2^{|S| · (n+m)^{ar(S)}}
+    (≥ # linear bodies)   (≥ # heads)
+
+each of size ``O(ar(S) · |S| · (n+m)^{ar(S)})``; Theorem 9.2's guarded
+count replaces the body factor by ``2^{|S| · n^{ar(S)}}``.  These are the
+quantities benchmarks/bench_e11_bounds.py compares against the exact
+(canonical, connected-head) enumeration.
+"""
+
+from __future__ import annotations
+
+from ..dependencies.enumeration import (
+    enumerate_guarded_tgds,
+    enumerate_linear_tgds,
+)
+from ..lang.schema import Schema
+
+__all__ = [
+    "linear_body_bound",
+    "guarded_body_bound",
+    "head_bound",
+    "linear_candidate_bound",
+    "guarded_candidate_bound",
+    "tgd_size_bound",
+    "exact_linear_count",
+    "exact_guarded_count",
+]
+
+
+def linear_body_bound(schema: Schema, n: int) -> int:
+    """``|S| · n^{ar(S)}`` — at least the number of linear bodies."""
+    return len(schema) * n ** schema.max_arity
+
+
+def guarded_body_bound(schema: Schema, n: int) -> int:
+    """``2^{|S| · n^{ar(S)}}`` — at least the number of guarded bodies."""
+    return 2 ** (len(schema) * n ** schema.max_arity)
+
+
+def head_bound(schema: Schema, n: int, m: int) -> int:
+    """``2^{|S| · (n+m)^{ar(S)}}`` — at least the number of heads."""
+    return 2 ** (len(schema) * (n + m) ** schema.max_arity)
+
+
+def linear_candidate_bound(schema: Schema, n: int, m: int) -> int:
+    """The Theorem 9.1 bound on ``|LTGD_{n,m}|`` over the schema."""
+    return linear_body_bound(schema, n) * head_bound(schema, n, m)
+
+
+def guarded_candidate_bound(schema: Schema, n: int, m: int) -> int:
+    """The Theorem 9.2 bound on ``|GTGD_{n,m}|`` over the schema."""
+    return guarded_body_bound(schema, n) * head_bound(schema, n, m)
+
+
+def tgd_size_bound(schema: Schema, n: int, m: int) -> int:
+    """``ar(S) · |S| · (n+m)^{ar(S)}`` — the per-tgd size bound."""
+    return schema.max_arity * len(schema) * (n + m) ** schema.max_arity
+
+
+def exact_linear_count(schema: Schema, n: int, m: int, **caps) -> int:
+    """The exact number of canonical linear candidates our Algorithm 1
+    searches (connected heads, deduplicated up to renaming)."""
+    return sum(1 for __ in enumerate_linear_tgds(schema, n, m, **caps))
+
+
+def exact_guarded_count(schema: Schema, n: int, m: int, **caps) -> int:
+    """The exact number of canonical guarded candidates of Algorithm 2."""
+    return sum(1 for __ in enumerate_guarded_tgds(schema, n, m, **caps))

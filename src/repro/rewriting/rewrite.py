@@ -1,0 +1,272 @@
+"""Rewrite(GTGD, LTGD) and Rewrite(FGTGD, GTGD) — Algorithms 1 and 2.
+
+Both algorithms rest on the Linearization Lemma (6.3) and Guardedization
+Lemma (7.3): if a set ``Σ ∈ TGD_{n,m}`` has *any* equivalent linear
+(resp. guarded) set, it has one inside ``LTGD_{n,m}`` (resp.
+``GTGD_{n,m}``) — so a search of that finite fragment is complete.
+
+    Σ' := { σ | σ over S, {σ} ∈ LTGD_{n,m}, Σ ⊨ σ }
+    if Σ' ≠ ∅ and Σ' ⊨ Σ: return Σ'  else: return ⊥
+
+Entailment is chase-based (Section 9.2 / Maier–Mendelzon–Sagiv) and may
+be inconclusive on pathological inputs; inconclusive candidates are
+reported rather than guessed at (see :class:`RewriteResult.status`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..dependencies.classes import TGDClass, all_in_class, in_class, set_width
+from ..dependencies.enumeration import (
+    enumerate_frontier_guarded_tgds,
+    enumerate_full_tgds,
+    enumerate_guarded_tgds,
+    enumerate_linear_tgds,
+)
+from ..dependencies.tgd import TGD
+from ..entailment.implication import entails, entails_all
+from ..entailment.trivalent import TriBool
+
+__all__ = [
+    "RewriteStatus",
+    "RewriteResult",
+    "guarded_to_linear",
+    "frontier_guarded_to_guarded",
+    "rewrite",
+    "minimize_tgds",
+]
+
+
+class RewriteStatus:
+    SUCCESS = "success"
+    FAILURE = "failure"
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """Outcome of a rewriting attempt.
+
+    ``status`` is ``success`` (an equivalent set was found and verified),
+    ``failure`` (a definitive ⊥ — no equivalent set exists in the target
+    class), or ``inconclusive`` (the chase budget left some candidate or
+    the final entailment check undecided).
+    """
+
+    status: str
+    rewriting: tuple[TGD, ...] | None
+    source: tuple[TGD, ...]
+    target_class: TGDClass
+    width: tuple[int, int]
+    candidates_considered: int
+    entailed_candidates: int
+    unknown_candidates: tuple[TGD, ...]
+    elapsed_seconds: float
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == RewriteStatus.SUCCESS
+
+    def __str__(self) -> str:
+        n, m = self.width
+        header = (
+            f"rewrite -> {self.target_class}: {self.status} "
+            f"(n={n}, m={m}, {self.entailed_candidates}/"
+            f"{self.candidates_considered} candidates entailed, "
+            f"{self.elapsed_seconds:.3f}s)"
+        )
+        if self.rewriting is not None:
+            body = "\n".join(f"  {tgd}" for tgd in self.rewriting)
+            return f"{header}\n{body}"
+        return header
+
+
+def minimize_tgds(
+    tgds: Sequence[TGD], *, max_rounds: int | None = None
+) -> tuple[TGD, ...]:
+    """Greedily drop members entailed by the remaining ones.
+
+    Keeps the set logically equivalent; only definitively redundant
+    members (entailment = TRUE) are removed.
+    """
+    current = list(tgds)
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current) - 1, -1, -1):
+            rest = current[:index] + current[index + 1 :]
+            if not rest:
+                break
+            if entails(rest, current[index], max_rounds=max_rounds).is_true:
+                del current[index]
+                changed = True
+    return tuple(current)
+
+
+def _rewrite_with_candidates(
+    source: Sequence[TGD],
+    target_class: TGDClass,
+    candidates: Iterable[TGD],
+    *,
+    max_rounds: int | None,
+    minimize: bool,
+) -> RewriteResult:
+    start = time.perf_counter()
+    source = tuple(source)
+    width = set_width(source)
+    entailed: list[TGD] = []
+    unknown: list[TGD] = []
+    considered = 0
+    for candidate in candidates:
+        considered += 1
+        verdict = entails(source, candidate, max_rounds=max_rounds)
+        if verdict.is_true:
+            entailed.append(candidate)
+        elif not verdict.is_definite:
+            unknown.append(candidate)
+
+    def finish(status: str, rewriting: tuple[TGD, ...] | None) -> RewriteResult:
+        return RewriteResult(
+            status=status,
+            rewriting=rewriting,
+            source=source,
+            target_class=target_class,
+            width=width,
+            candidates_considered=considered,
+            entailed_candidates=len(entailed),
+            unknown_candidates=tuple(unknown),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    if entailed:
+        back = entails_all(entailed, list(source), max_rounds=max_rounds)
+        if back.is_true:
+            rewriting = tuple(entailed)
+            if minimize:
+                rewriting = minimize_tgds(rewriting, max_rounds=max_rounds)
+            return finish(RewriteStatus.SUCCESS, rewriting)
+        if not back.is_definite or unknown:
+            return finish(RewriteStatus.INCONCLUSIVE, None)
+        return finish(RewriteStatus.FAILURE, None)
+    if unknown:
+        return finish(RewriteStatus.INCONCLUSIVE, None)
+    return finish(RewriteStatus.FAILURE, None)
+
+
+def guarded_to_linear(
+    source: Sequence[TGD],
+    *,
+    schema=None,
+    max_rounds: int | None = None,
+    minimize: bool = True,
+    max_head_atoms: int | None = None,
+) -> RewriteResult:
+    """Algorithm 1 (``G-to-L``): rewrite a guarded set into an equivalent
+    linear set from ``LTGD_{n,m}``, or report ⊥.
+
+    Complete by the Linearization Lemma; the candidate space is complete
+    up to logical equivalence when ``max_head_atoms is None``.
+    """
+    source = tuple(source)
+    if not all_in_class(source, TGDClass.GUARDED):
+        raise ValueError("Algorithm 1 expects a set of guarded tgds")
+    schema = schema or _combined_schema(source)
+    n, m = set_width(source)
+    candidates = enumerate_linear_tgds(
+        schema, n, m, max_head_atoms=max_head_atoms
+    )
+    return _rewrite_with_candidates(
+        source,
+        TGDClass.LINEAR,
+        candidates,
+        max_rounds=max_rounds,
+        minimize=minimize,
+    )
+
+
+def frontier_guarded_to_guarded(
+    source: Sequence[TGD],
+    *,
+    schema=None,
+    max_rounds: int | None = None,
+    minimize: bool = True,
+    max_extra_body_atoms: int | None = None,
+    max_head_atoms: int | None = None,
+) -> RewriteResult:
+    """Algorithm 2 (``FG-to-G``): rewrite a frontier-guarded set into an
+    equivalent guarded set from ``GTGD_{n,m}``, or report ⊥.
+
+    Complete by the Guardedization Lemma (with unrestricted caps).
+    """
+    source = tuple(source)
+    if not all_in_class(source, TGDClass.FRONTIER_GUARDED):
+        raise ValueError("Algorithm 2 expects frontier-guarded tgds")
+    schema = schema or _combined_schema(source)
+    n, m = set_width(source)
+    candidates = enumerate_guarded_tgds(
+        schema,
+        n,
+        m,
+        max_extra_body_atoms=max_extra_body_atoms,
+        max_head_atoms=max_head_atoms,
+    )
+    return _rewrite_with_candidates(
+        source,
+        TGDClass.GUARDED,
+        candidates,
+        max_rounds=max_rounds,
+        minimize=minimize,
+    )
+
+
+def rewrite(
+    source: Sequence[TGD],
+    target_class: TGDClass,
+    *,
+    schema=None,
+    max_rounds: int | None = None,
+    minimize: bool = True,
+    **caps,
+) -> RewriteResult:
+    """Generic driver: rewrite into LINEAR, GUARDED, or FULL.
+
+    LINEAR and GUARDED follow Algorithms 1/2 (and accept any tgd input —
+    the Linearization/Guardedization Lemmas hold for any
+    ``TGD_{n,m}``-ontology).  FRONTIER_GUARDED searches ``FGTGD_{n,m}``
+    (justified by Lemma 8.3); FULL searches ``TGD_{n,0}`` (Corollary 5.1
+    scopes when it can succeed).
+    """
+    source = tuple(source)
+    schema = schema or _combined_schema(source)
+    n, m = set_width(source)
+    if target_class is TGDClass.LINEAR:
+        candidates: Iterable[TGD] = enumerate_linear_tgds(
+            schema, n, m, **caps
+        )
+    elif target_class is TGDClass.GUARDED:
+        candidates = enumerate_guarded_tgds(schema, n, m, **caps)
+    elif target_class is TGDClass.FRONTIER_GUARDED:
+        candidates = enumerate_frontier_guarded_tgds(schema, n, m, **caps)
+    elif target_class is TGDClass.FULL:
+        candidates = enumerate_full_tgds(schema, n, **caps)
+    else:
+        raise ValueError(f"unsupported rewrite target {target_class}")
+    return _rewrite_with_candidates(
+        source,
+        target_class,
+        candidates,
+        max_rounds=max_rounds,
+        minimize=minimize,
+    )
+
+
+def _combined_schema(source: Sequence[TGD]):
+    from ..lang.schema import Schema
+
+    schema = Schema(())
+    for tgd in source:
+        schema = schema.union(tgd.schema)
+    return schema

@@ -1,0 +1,111 @@
+"""The semantic separations of Section 9.1.
+
+* ``Σ_G = { R(x), P(x) → T(x) }`` is guarded but not equivalent to any
+  finite set of linear tgds: by the Linearization Lemma it would have to
+  be linear (1, 0)-local, yet it is linearly (1, 0)-locally embeddable in
+  ``I = { R(c), P(c) }`` while ``I ⊭ Σ_G``.
+
+* ``Σ_F = { R(x), P(y) → T(x) }`` is frontier-guarded but not equivalent
+  to any finite set of guarded tgds: it is guardedly (2, 0)-locally
+  embeddable in ``I = { R(c), P(d) }`` while ``I ⊭ Σ_F``.
+
+(The paper's text gives ``dom(I) = {c}`` for the second witness; its
+facts ``{R(c), P(d)}`` force ``d ∈ dom(I)`` — we use ``dom = {c, d}``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dependencies.tgd import TGD
+from ..instances.instance import Instance
+from ..lang.parser import parse_tgd
+from ..lang.schema import Schema
+from ..ontology.axiomatic import AxiomaticOntology
+from ..properties.locality import LocalityMode, locally_embeddable
+
+__all__ = [
+    "SeparationWitness",
+    "linear_vs_guarded_witness",
+    "guarded_vs_frontier_guarded_witness",
+    "verify_separation",
+]
+
+SEPARATION_SCHEMA = Schema.of(("R", 1), ("P", 1), ("T", 1))
+
+
+@dataclass(frozen=True)
+class SeparationWitness:
+    """A dependency set, the instance witnessing non-locality, the
+    locality mode refuted, and the (n, m) parameters."""
+
+    name: str
+    tgds: tuple[TGD, ...]
+    instance: Instance
+    mode: LocalityMode
+    n: int
+    m: int
+
+
+def linear_vs_guarded_witness() -> SeparationWitness:
+    """Section 9.1, "Linear vs. Guarded"."""
+    sigma = (parse_tgd("R(x), P(x) -> T(x)", SEPARATION_SCHEMA),)
+    instance = Instance.parse("R(c). P(c)", SEPARATION_SCHEMA)
+    return SeparationWitness(
+        name="LTGD vs GTGD",
+        tgds=sigma,
+        instance=instance,
+        mode=LocalityMode.LINEAR,
+        n=1,
+        m=0,
+    )
+
+
+def guarded_vs_frontier_guarded_witness() -> SeparationWitness:
+    """Section 9.1, "Guarded vs. Frontier-Guarded"."""
+    sigma = (parse_tgd("R(x), P(y) -> T(x)", SEPARATION_SCHEMA),)
+    instance = Instance.parse("R(c). P(d)", SEPARATION_SCHEMA)
+    return SeparationWitness(
+        name="GTGD vs FGTGD",
+        tgds=sigma,
+        instance=instance,
+        mode=LocalityMode.GUARDED,
+        n=2,
+        m=0,
+    )
+
+
+@dataclass(frozen=True)
+class SeparationOutcome:
+    witness: SeparationWitness
+    embeddable: bool
+    member: bool
+
+    @property
+    def separation_holds(self) -> bool:
+        """The set is refuted as (mode) (n, m)-local: the ontology embeds
+        locally in a non-member."""
+        return self.embeddable and not self.member
+
+    def __str__(self) -> str:
+        verdict = "separates" if self.separation_holds else "DOES NOT separate"
+        return (
+            f"{self.witness.name}: {verdict} "
+            f"(embeddable={self.embeddable}, member={self.member})"
+        )
+
+
+def verify_separation(witness: SeparationWitness) -> SeparationOutcome:
+    """Re-derive the separation: the ontology of the witness tgds must be
+    locally embeddable (in the witness mode) in the witness instance,
+    which must not be a model."""
+    ontology = AxiomaticOntology(witness.tgds, schema=SEPARATION_SCHEMA)
+    embeddable = locally_embeddable(
+        ontology,
+        witness.instance,
+        witness.n,
+        witness.m,
+        mode=witness.mode,
+    )
+    member = ontology.contains(witness.instance)
+    return SeparationOutcome(witness, embeddable, member)

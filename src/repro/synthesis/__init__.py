@@ -1,0 +1,22 @@
+"""Constructive axiomatization synthesis (Theorems 4.1 and 5.6)."""
+
+from .full_synthesis import (
+    FullSynthesisResult,
+    diagram_dd,
+    synthesize_full_tgds,
+    synthesize_full_via_diagrams,
+)
+from .tgd_synthesis import (
+    EddSynthesisResult,
+    SynthesisResult,
+    synthesize_tgds,
+    synthesize_via_edds,
+    valid_in_ontology,
+)
+
+__all__ = [
+    "FullSynthesisResult", "diagram_dd", "synthesize_full_tgds",
+    "synthesize_full_via_diagrams",
+    "EddSynthesisResult", "SynthesisResult", "synthesize_tgds",
+    "synthesize_via_edds", "valid_in_ontology",
+]

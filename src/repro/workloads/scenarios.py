@@ -1,0 +1,231 @@
+"""Curated ontology scenarios.
+
+These are the realistic workloads the examples and benchmarks run on:
+small versions of the ontology-mediated-query-answering settings the
+paper's introduction motivates (Datalog±/existential-rule style), one per
+syntactic class, plus the paper's own Example 5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dependencies.tgd import TGD
+from ..instances.instance import Instance
+from ..lang.parser import parse_tgds
+from ..lang.schema import Schema
+
+__all__ = [
+    "Scenario",
+    "university_linear",
+    "company_guarded",
+    "family_frontier_guarded",
+    "triangle_full",
+    "example_5_2",
+    "library_weakly_acyclic",
+    "social_non_terminating",
+    "all_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named dependency set with a sample database."""
+
+    name: str
+    description: str
+    schema: Schema
+    tgds: tuple[TGD, ...]
+    sample: Instance
+
+
+def university_linear() -> Scenario:
+    """A linear (hence guarded) ontology: course enrollment typing."""
+    schema = Schema.of(
+        ("Enrolled", 2),
+        ("Teaches", 2),
+        ("Student", 1),
+        ("Course", 1),
+        ("Lecturer", 1),
+        ("HasTutor", 2),
+    )
+    tgds = parse_tgds(
+        """
+        Enrolled(s, c) -> Student(s)
+        Enrolled(s, c) -> Course(c)
+        Teaches(l, c) -> Lecturer(l)
+        Teaches(l, c) -> Course(c)
+        Student(s) -> exists t . HasTutor(s, t)
+        HasTutor(s, t) -> Lecturer(t)
+        """,
+        schema,
+    )
+    sample = Instance.parse(
+        "Enrolled(ada, logic). Enrolled(bob, logic). Teaches(tarski, logic)",
+        schema,
+    )
+    return Scenario(
+        "university-linear",
+        "course enrollment with tutor invention (linear tgds)",
+        schema,
+        tgds,
+        sample,
+    )
+
+
+def company_guarded() -> Scenario:
+    """A guarded (non-linear) ontology: managers inside projects."""
+    schema = Schema.of(
+        ("WorksOn", 2),
+        ("Manages", 2),
+        ("Employee", 1),
+        ("Project", 1),
+        ("Supervised", 2),
+    )
+    tgds = parse_tgds(
+        """
+        WorksOn(e, p) -> Employee(e)
+        WorksOn(e, p) -> Project(p)
+        Manages(m, p), WorksOn(m, p) -> exists e . Supervised(e, m)
+        Supervised(e, m) -> Employee(m)
+        """,
+        schema,
+    )
+    sample = Instance.parse(
+        "WorksOn(ann, apollo). Manages(ann, apollo). WorksOn(ben, apollo)",
+        schema,
+    )
+    return Scenario(
+        "company-guarded",
+        "project management with guarded joins",
+        schema,
+        tgds,
+        sample,
+    )
+
+
+def family_frontier_guarded() -> Scenario:
+    """A frontier-guarded ontology with a non-guarded body."""
+    schema = Schema.of(
+        ("Parent", 2),
+        ("Person", 1),
+        ("Ancestor", 2),
+        ("Named", 1),
+    )
+    tgds = parse_tgds(
+        """
+        Parent(x, y) -> Person(x)
+        Parent(x, y) -> Person(y)
+        Person(x) -> exists p . Parent(p, x)
+        Parent(x, y), Person(z) -> Ancestor(x, y)
+        Ancestor(x, y) -> Named(x)
+        """,
+        schema,
+    )
+    sample = Instance.parse("Parent(eve, cain). Person(abel)", schema)
+    return Scenario(
+        "family-frontier-guarded",
+        "genealogy with a frontier-guarded (non-guarded) rule",
+        schema,
+        tgds,
+        sample,
+    )
+
+
+def triangle_full() -> Scenario:
+    """A full-tgd ontology: transitive-style composition."""
+    schema = Schema.of(("R", 2), ("S", 2), ("T", 2))
+    tgds = parse_tgds(
+        """
+        R(x, y), S(y, z) -> T(x, z)
+        T(x, y) -> R(x, y)
+        """,
+        schema,
+    )
+    sample = Instance.parse("R(a, b). S(b, c)", schema)
+    return Scenario(
+        "triangle-full",
+        "relational composition (full tgds)",
+        schema,
+        tgds,
+        sample,
+    )
+
+
+def example_5_2() -> Scenario:
+    """Example 5.2 of the paper: σ = R(x,y), S(y,z) → T(x,z) with the
+    instance I = {R(a,b), S(b,a), T(a,a)}; the Makowsky–Vardi duplicating
+    extension of I violates σ."""
+    schema = Schema.of(("R", 2), ("S", 2), ("T", 2))
+    tgds = parse_tgds("R(x, y), S(y, z) -> T(x, z)", schema)
+    sample = Instance.parse("R(a, b). S(b, a). T(a, a)", schema)
+    return Scenario(
+        "example-5.2",
+        "the paper's counterexample to Makowsky–Vardi Lemma 7",
+        schema,
+        tgds,
+        sample,
+    )
+
+
+def library_weakly_acyclic() -> Scenario:
+    """A weakly acyclic set mixing invention with full closure rules."""
+    schema = Schema.of(
+        ("Holds", 2),       # Holds(member, book)
+        ("Member", 1),
+        ("Book", 1),
+        ("HasCard", 2),     # HasCard(member, card)
+        ("Card", 1),
+    )
+    tgds = parse_tgds(
+        """
+        Holds(m, b) -> Member(m)
+        Holds(m, b) -> Book(b)
+        Member(m) -> exists c . HasCard(m, c)
+        HasCard(m, c) -> Card(c)
+        """,
+        schema,
+    )
+    sample = Instance.parse(
+        "Holds(ines, odyssey). Holds(juno, iliad)", schema
+    )
+    return Scenario(
+        "library-weakly-acyclic",
+        "lending records with card invention (weakly acyclic)",
+        schema,
+        tgds,
+        sample,
+    )
+
+
+def social_non_terminating() -> Scenario:
+    """A linear set whose chase never terminates (everyone needs a
+    follower with their own follower, ...)."""
+    schema = Schema.of(("Follows", 2), ("Active", 1))
+    tgds = parse_tgds(
+        """
+        Active(x) -> exists f . Follows(f, x)
+        Follows(f, x) -> Active(f)
+        """,
+        schema,
+    )
+    sample = Instance.parse("Active(zero)", schema)
+    return Scenario(
+        "social-non-terminating",
+        "follower invention (linear, chase diverges; rewriting still works)",
+        schema,
+        tgds,
+        sample,
+    )
+
+
+def all_scenarios() -> tuple[Scenario, ...]:
+    return (
+        university_linear(),
+        company_guarded(),
+        family_frontier_guarded(),
+        triangle_full(),
+        example_5_2(),
+        library_weakly_acyclic(),
+        social_non_terminating(),
+    )

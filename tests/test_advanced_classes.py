@@ -1,0 +1,106 @@
+"""Unit tests for the set-level Datalog± classes (affected positions,
+weak guardedness, stickiness)."""
+
+from repro import Schema, parse_tgds
+from repro.dependencies import (
+    affected_positions,
+    is_sticky_set,
+    is_weakly_guarded_set,
+    sticky_marking,
+)
+
+SCHEMA = Schema.of(("E", 2), ("P", 1), ("Q", 1), ("T", 2))
+
+
+def rules(text: str):
+    return parse_tgds(text, SCHEMA)
+
+
+class TestAffectedPositions:
+    def test_existential_positions_are_base(self):
+        sigma = rules("P(x) -> exists z . E(x, z)")
+        assert affected_positions(sigma) == {("E", 1)}
+
+    def test_propagation_through_frontier(self):
+        sigma = rules(
+            "P(x) -> exists z . E(x, z)\nE(x, y) -> Q(y)"
+        )
+        affected = affected_positions(sigma)
+        assert ("E", 1) in affected
+        assert ("Q", 0) in affected  # y occurs only at the affected (E,1)
+
+    def test_safe_positions_stay_clean(self):
+        sigma = rules("P(x) -> exists z . E(x, z)\nE(x, y) -> Q(x)")
+        affected = affected_positions(sigma)
+        assert ("Q", 0) not in affected  # x also occurs at clean (E,0)
+
+    def test_full_sets_have_no_affected_positions(self):
+        sigma = rules("E(x, y), E(y, z) -> T(x, z)")
+        assert affected_positions(sigma) == frozenset()
+
+
+class TestWeakGuardedness:
+    def test_guarded_sets_are_weakly_guarded(self):
+        sigma = rules("E(x, y), P(x) -> Q(y)")
+        assert is_weakly_guarded_set(sigma)
+
+    def test_unguarded_but_weakly_guarded(self):
+        # the classic: the join variables never see nulls, so the set is
+        # weakly guarded although no atom covers both x and y.
+        sigma = rules("P(x), Q(y) -> T(x, y)")
+        assert not sigma[0].is_guarded
+        assert is_weakly_guarded_set(sigma)
+
+    def test_not_weakly_guarded(self):
+        # nulls flow into both join positions with no covering atom.
+        sigma = rules(
+            "P(x) -> exists z . E(x, z)\n"
+            "Q(x) -> exists z . T(x, z)\n"
+            "E(u, x), T(w, y) -> E(x, y)"
+        )
+        affected = affected_positions(sigma)
+        assert ("E", 1) in affected and ("T", 1) in affected
+        assert not is_weakly_guarded_set(sigma)
+
+
+class TestStickiness:
+    def test_initial_marking_lost_variables(self):
+        sigma = rules("E(x, y) -> P(x)")
+        marking = sticky_marking(sigma)
+        assert marking[0] == frozenset({sigma[0].universal_variables[1]})
+
+    def test_join_on_lost_variable_breaks_stickiness(self):
+        # y is marked (lost) and joins the two body atoms.
+        sigma = rules("E(x, y), E(y, z) -> T(x, z)")
+        assert not is_sticky_set(sigma)
+
+    def test_propagation_marks_join_through_lost_position(self):
+        # z is lost at body position (E, 1); the head writes y into
+        # (E, 1), so y inherits the marking — and y joins the body.
+        sigma = rules("E(x, y), E(y, z) -> E(x, y)")
+        assert not is_sticky_set(sigma)
+
+    def test_fully_kept_join_is_sticky(self):
+        # both variables of the join survive into the head: no marking.
+        sigma = rules("E(x, y), P(x) -> T(x, y)")
+        marking = sticky_marking(sigma)
+        assert not marking[0]
+        assert is_sticky_set(sigma)
+
+    def test_linear_sets_are_sticky(self):
+        sigma = rules("E(x, y) -> exists z . E(y, z)")
+        assert is_sticky_set(sigma)
+
+    def test_backward_propagation(self):
+        # x is kept by rule 1, but rule 2 loses position (P, 0); the
+        # marking propagates back and x's double occurrence breaks it.
+        sigma = rules(
+            "E(x, x) -> P(x)\nP(v) -> Q(v)\nQ(w), P(w) -> T(w, w)"
+        )
+        # rule 3 keeps w; rule 1 has x twice in the body.  Whether the
+        # set is sticky depends on the propagation: T(w, w) keeps w, so
+        # nothing is lost downstream; rule 1's x is kept in P(x)...
+        marking = sticky_marking(sigma)
+        # no variable is lost anywhere in this program:
+        assert all(not m for m in marking.values())
+        assert is_sticky_set(sigma)

@@ -1,0 +1,84 @@
+"""Unit tests for the Section 9.2 counting bounds and the Section 9.1
+separation witnesses."""
+
+from repro import Schema
+from repro.rewriting import (
+    exact_guarded_count,
+    exact_linear_count,
+    guarded_body_bound,
+    guarded_candidate_bound,
+    guarded_vs_frontier_guarded_witness,
+    head_bound,
+    linear_body_bound,
+    linear_candidate_bound,
+    linear_vs_guarded_witness,
+    tgd_size_bound,
+    verify_separation,
+)
+
+UNARY3 = Schema.of(("R", 1), ("P", 1), ("T", 1))
+BINARY = Schema.of(("E", 2))
+
+
+class TestBounds:
+    def test_linear_body_bound_formula(self):
+        # |S| * n^ar(S) = 3 * 2^1
+        assert linear_body_bound(UNARY3, 2) == 6
+
+    def test_head_bound_formula(self):
+        # 2^(|S| * (n+m)^ar(S)) = 2^(3*2)
+        assert head_bound(UNARY3, 1, 1) == 64
+
+    def test_guarded_body_bound_formula(self):
+        assert guarded_body_bound(UNARY3, 1) == 8
+
+    def test_candidate_bounds_compose(self):
+        assert linear_candidate_bound(UNARY3, 1, 1) == 3 * 64
+        assert guarded_candidate_bound(UNARY3, 1, 1) == 8 * 64
+
+    def test_size_bound(self):
+        assert tgd_size_bound(BINARY, 2, 1) == 2 * 1 * 9
+
+    def test_bounds_dominate_exact_counts(self):
+        # Theorem 9.1/9.2's "≥ #" claims, against our canonical counts.
+        for n, m in ((1, 0), (1, 1), (2, 0)):
+            assert exact_linear_count(UNARY3, n, m) <= linear_candidate_bound(
+                UNARY3, n, m
+            )
+            assert exact_guarded_count(
+                UNARY3, n, m
+            ) <= guarded_candidate_bound(UNARY3, n, m)
+
+    def test_exact_counts_binary(self):
+        assert exact_linear_count(BINARY, 2, 0) > 0
+        assert exact_linear_count(BINARY, 2, 0) <= linear_candidate_bound(
+            BINARY, 2, 0
+        )
+
+    def test_guarded_exact_dominates_linear_exact(self):
+        assert exact_guarded_count(UNARY3, 1, 0) >= exact_linear_count(
+            UNARY3, 1, 0
+        )
+
+
+class TestSeparations:
+    def test_linear_vs_guarded(self):
+        outcome = verify_separation(linear_vs_guarded_witness())
+        assert outcome.separation_holds
+        assert outcome.embeddable and not outcome.member
+
+    def test_guarded_vs_frontier_guarded(self):
+        outcome = verify_separation(guarded_vs_frontier_guarded_witness())
+        assert outcome.separation_holds
+
+    def test_witness_shapes_match_paper(self):
+        w1 = linear_vs_guarded_witness()
+        assert str(w1.tgds[0]) == "R(x), P(x) -> T(x)"
+        assert (w1.n, w1.m) == (1, 0)
+        w2 = guarded_vs_frontier_guarded_witness()
+        assert str(w2.tgds[0]) == "R(x), P(y) -> T(x)"
+        assert (w2.n, w2.m) == (2, 0)
+
+    def test_outcome_str(self):
+        text = str(verify_separation(linear_vs_guarded_witness()))
+        assert "separates" in text

@@ -1,0 +1,129 @@
+"""Unit tests for canonicalization and class helpers."""
+
+import pytest
+
+from repro import Schema, parse_tgd
+from repro.dependencies import (
+    TGDClass,
+    all_in_class,
+    canonical_key,
+    canonicalize,
+    classify,
+    dedup_canonical,
+    in_class,
+    set_width,
+)
+
+SCHEMA = Schema.of(("R", 2), ("S", 1))
+
+
+def tgd(text: str):
+    return parse_tgd(text, SCHEMA)
+
+
+class TestCanonicalKey:
+    def test_alphabetic_variants_share_key(self):
+        assert canonical_key(tgd("R(x, y) -> S(x)")) == canonical_key(
+            tgd("R(u, v) -> S(u)")
+        )
+
+    def test_different_patterns_differ(self):
+        assert canonical_key(tgd("R(x, y) -> S(x)")) != canonical_key(
+            tgd("R(x, y) -> S(y)")
+        )
+
+    def test_repeated_vs_distinct_variables_differ(self):
+        assert canonical_key(tgd("R(x, x) -> S(x)")) != canonical_key(
+            tgd("R(x, y) -> S(x)")
+        )
+
+    def test_conjunct_order_irrelevant(self):
+        a = tgd("R(x, y), S(x) -> S(y)")
+        b = tgd("S(x), R(x, y) -> S(y)")
+        assert canonical_key(a) == canonical_key(b)
+
+    def test_body_head_roles_not_swappable(self):
+        assert canonical_key(tgd("S(x) -> R(x, x)")) != canonical_key(
+            tgd("R(x, x) -> S(x)")
+        )
+
+    def test_existential_variant(self):
+        a = tgd("S(x) -> exists z . R(x, z)")
+        b = tgd("S(u) -> exists w . R(u, w)")
+        assert canonical_key(a) == canonical_key(b)
+
+    def test_existential_position_matters(self):
+        a = tgd("S(x) -> exists z . R(x, z)")
+        b = tgd("S(x) -> exists z . R(z, x)")
+        assert canonical_key(a) != canonical_key(b)
+
+    def test_too_many_variables_raises(self):
+        wide = Schema.of(("W", 10))
+        t = parse_tgd("W(a,b,c,d,e,f,g,h,i,j) -> W(a,a,a,a,a,a,a,a,a,a)", wide)
+        with pytest.raises(ValueError):
+            canonical_key(t)
+
+
+class TestCanonicalize:
+    def test_produces_v_variables(self):
+        result = canonicalize(tgd("R(q, p) -> S(q)"))
+        assert all(v.name.startswith("v") for v in result.variables())
+
+    def test_idempotent(self):
+        t = canonicalize(tgd("R(q, p) -> S(q)"))
+        assert canonicalize(t) == t
+
+    def test_variants_collapse(self):
+        assert canonicalize(tgd("R(x, y) -> S(x)")) == canonicalize(
+            tgd("R(b, a) -> S(b)")
+        )
+
+    def test_key_preserved(self):
+        t = tgd("R(x, y), S(y) -> exists z . R(y, z)")
+        assert canonical_key(canonicalize(t)) == canonical_key(t)
+
+
+class TestDedup:
+    def test_dedup_removes_variants_only(self):
+        tgds = [
+            tgd("R(x, y) -> S(x)"),
+            tgd("R(a, b) -> S(a)"),
+            tgd("R(x, y) -> S(y)"),
+        ]
+        assert len(dedup_canonical(tgds)) == 2
+
+    def test_keeps_first_occurrence(self):
+        first = tgd("R(x, y) -> S(x)")
+        assert dedup_canonical([first, tgd("R(a, b) -> S(a)")])[0] is first
+
+
+class TestClassHelpers:
+    def test_in_class(self):
+        t = tgd("R(x, y) -> S(x)")
+        assert in_class(t, TGDClass.LINEAR)
+        assert in_class(t, TGDClass.TGD)
+
+    def test_all_in_class(self):
+        tgds = [tgd("R(x, y) -> S(x)"), tgd("S(x) -> R(x, x)")]
+        assert all_in_class(tgds, TGDClass.LINEAR)
+        assert all_in_class((), TGDClass.FULL)
+
+    def test_classify_contains_hierarchy(self):
+        labels = classify(tgd("R(x, y) -> S(x)"))
+        assert {
+            TGDClass.LINEAR,
+            TGDClass.GUARDED,
+            TGDClass.FRONTIER_GUARDED,
+            TGDClass.FULL,
+            TGDClass.TGD,
+        } == labels
+
+    def test_set_width_is_max(self):
+        tgds = [
+            tgd("R(x, y) -> S(x)"),
+            tgd("S(x) -> exists z, w . R(z, w)"),
+        ]
+        assert set_width(tgds) == (2, 2)
+
+    def test_set_width_empty(self):
+        assert set_width(()) == (0, 0)

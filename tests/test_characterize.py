@@ -1,0 +1,85 @@
+"""Unit tests for the one-call characterization API (all five theorems)."""
+
+import pytest
+
+from repro import AxiomaticOntology, FiniteOntology, Instance, Schema, TGDClass, parse_tgds
+from repro.properties import characterize
+
+UNARY3 = Schema.of(("R", 1), ("P", 1), ("T", 1))
+BINARY = Schema.of(("E", 2), ("V", 1))
+
+
+def axiomatic(text: str, schema=UNARY3) -> AxiomaticOntology:
+    return AxiomaticOntology(parse_tgds(text, schema), schema=schema)
+
+
+class TestLinearOntology:
+    def test_all_classes_axiomatizable(self):
+        result = characterize(axiomatic("R(x) -> T(x)"), 1, 0)
+        assert set(result.axiomatizable_classes()) == {
+            TGDClass.TGD,
+            TGDClass.FULL,
+            TGDClass.LINEAR,
+            TGDClass.GUARDED,
+            TGDClass.FRONTIER_GUARDED,
+        }
+
+
+class TestSigmaG:
+    """The Section 9.1 guarded witness: everything except LINEAR."""
+
+    def test_verdicts(self):
+        result = characterize(
+            axiomatic("R(x), P(x) -> T(x)"), 2, 0, max_domain_size=2
+        )
+        assert result[TGDClass.TGD].axiomatizable
+        assert result[TGDClass.GUARDED].axiomatizable
+        assert result[TGDClass.FRONTIER_GUARDED].axiomatizable
+        assert not result[TGDClass.LINEAR].axiomatizable
+
+    def test_failing_condition_named(self):
+        result = characterize(
+            axiomatic("R(x), P(x) -> T(x)"), 2, 0, max_domain_size=1
+        )
+        failures = result[TGDClass.LINEAR].failing_conditions()
+        assert failures
+        assert "linear" in failures[0].property_name
+
+
+class TestSigmaF:
+    """The Section 9.1 frontier-guarded witness: not GUARDED."""
+
+    def test_verdicts(self):
+        result = characterize(
+            axiomatic("R(x), P(y) -> T(x)"), 2, 0, max_domain_size=2
+        )
+        assert result[TGDClass.TGD].axiomatizable
+        assert result[TGDClass.FRONTIER_GUARDED].axiomatizable
+        assert not result[TGDClass.GUARDED].axiomatizable
+        assert not result[TGDClass.LINEAR].axiomatizable
+
+
+class TestExistentialOntology:
+    def test_not_full(self):
+        ontology = AxiomaticOntology(
+            parse_tgds("V(x) -> exists z . E(x, z)", BINARY), schema=BINARY
+        )
+        result = characterize(ontology, 1, 1, max_domain_size=2)
+        assert result[TGDClass.TGD].axiomatizable
+        assert result[TGDClass.LINEAR].axiomatizable
+        assert not result[TGDClass.FULL].axiomatizable
+
+
+class TestNonTgdOntology:
+    def test_nothing_axiomatizable(self):
+        # "exactly the single-R instance" is no class of tgd models.
+        seeds = [Instance.parse("R(a)", UNARY3)]
+        result = characterize(FiniteOntology(seeds), 1, 0, max_domain_size=1)
+        assert result.axiomatizable_classes() == ()
+        # criticality is the culprit everywhere
+        assert not result[TGDClass.TGD].reports[0].holds
+
+    def test_str_rendering(self):
+        result = characterize(axiomatic("R(x) -> T(x)"), 1, 0, max_domain_size=1)
+        text = str(result)
+        assert "Theorem 4.1" in text and "YES" in text

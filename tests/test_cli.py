@@ -1,0 +1,139 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def rules_file(tmp_path):
+    path = tmp_path / "rules.txt"
+    path.write_text(
+        """
+        # a linear ontology
+        Enrolled(s, c) -> Student(s)
+        Student(s) -> exists t . HasTutor(s, t)
+        HasTutor(s, t) -> Lecturer(t)
+        """
+    )
+    return str(path)
+
+
+@pytest.fixture
+def guarded_rules_file(tmp_path):
+    path = tmp_path / "guarded.txt"
+    path.write_text("R(x), P(x) -> T(x)\n")
+    return str(path)
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    path = tmp_path / "data.txt"
+    path.write_text("Enrolled(ada, logic). Student(bob)")
+    return str(path)
+
+
+class TestClassify:
+    def test_reports_classes_and_width(self, rules_file, capsys):
+        assert main(["classify", rules_file]) == 0
+        out = capsys.readouterr().out
+        assert "linear" in out
+        assert "TGD_{2,1}" in out
+        assert "weakly acyclic: True" in out
+
+    def test_reports_special_cycle(self, tmp_path, capsys):
+        path = tmp_path / "cyclic.txt"
+        path.write_text("E(x, y) -> exists z . E(y, z)\n")
+        main(["classify", str(path)])
+        out = capsys.readouterr().out
+        assert "weakly acyclic: False" in out
+        assert "special cycle" in out
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(SystemExit):
+            main(["classify", str(path)])
+
+
+class TestChase:
+    def test_materializes(self, rules_file, data_file, capsys):
+        assert main(["chase", rules_file, data_file]) == 0
+        out = capsys.readouterr().out
+        assert "terminated" in out
+        assert "Student" in out and "ada" in out
+
+    def test_failure_exit_code(self, tmp_path, capsys):
+        rules = tmp_path / "dc.txt"
+        rules.write_text("R(x) -> P(x)\nR(x), P(x) -> false\n")
+        data = tmp_path / "d.txt"
+        data.write_text("R(a)")
+        assert main(["chase", str(rules), str(data)]) == 1
+
+
+class TestEntails:
+    def test_positive(self, rules_file, capsys):
+        code = main(
+            ["entails", rules_file, "Enrolled(s, c) -> Student(s)"]
+        )
+        assert code == 0
+        assert "true" in capsys.readouterr().out
+
+    def test_negative(self, rules_file, capsys):
+        main(["entails", rules_file, "Student(s) -> Lecturer(s)"])
+        assert "false" in capsys.readouterr().out
+
+
+class TestRewrite:
+    def test_failure_case(self, guarded_rules_file, capsys):
+        assert main(["rewrite", guarded_rules_file, "--target", "linear"]) == 1
+        assert "failure" in capsys.readouterr().out
+
+    def test_success_case(self, tmp_path, capsys):
+        path = tmp_path / "lin.txt"
+        path.write_text("R(x) -> P(x)\nR(x), P(x) -> T(x)\n")
+        assert main(["rewrite", str(path), "--target", "linear"]) == 0
+        assert "success" in capsys.readouterr().out
+
+
+class TestQueryAndAudit:
+    def test_query_chase_based(self, rules_file, data_file, capsys):
+        assert main(
+            ["query", rules_file, data_file, "s <- Student(s)"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "(ada)" in out and "(bob)" in out
+
+    def test_query_via_rewriting(self, rules_file, data_file, capsys):
+        assert main(
+            [
+                "query",
+                rules_file,
+                data_file,
+                "s <- Student(s)",
+                "--via-rewriting",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "UCQ rewriting" in out and "(ada)" in out
+
+    def test_audit(self, guarded_rules_file, capsys):
+        assert main(["audit", guarded_rules_file]) == 0
+        out = capsys.readouterr().out
+        assert "criticality: holds" in out
+        assert "linear" in out
+
+    def test_separations(self, capsys):
+        assert main(["separations"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("separates") == 2
+
+
+class TestCharacterize:
+    def test_characterize_sigma_g(self, guarded_rules_file, capsys):
+        assert main(
+            ["characterize", guarded_rules_file, "--max-domain", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4.1" in out
+        assert "linear (Theorem 6.4): no" in out

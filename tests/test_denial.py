@@ -1,0 +1,134 @@
+"""Unit tests for denial constraints (the concluding-remarks extension)."""
+
+import pytest
+
+from repro import AxiomaticOntology, DenialConstraint, Instance, Schema, chase
+from repro.chase import ChaseError
+from repro.dependencies import DependencyError
+from repro.lang import parse_dependency, parse_tgds
+
+SCHEMA = Schema.of(("R", 1), ("P", 1), ("E", 2))
+
+
+def dc(text: str) -> DenialConstraint:
+    result = parse_dependency(text, SCHEMA)
+    assert isinstance(result, DenialConstraint)
+    return result
+
+
+class TestSyntax:
+    def test_parse_false_head(self):
+        constraint = dc("R(x), P(x) -> false")
+        assert len(constraint.body) == 2
+        assert constraint.width == (1, 0)
+
+    def test_parse_bottom_symbol(self):
+        assert isinstance(
+            parse_dependency("R(x) -> ⊥", SCHEMA), DenialConstraint
+        )
+
+    def test_body_required(self):
+        with pytest.raises(DependencyError):
+            DenialConstraint(())
+
+    def test_constant_free(self):
+        from repro.lang import Atom, Const
+
+        with pytest.raises(DependencyError):
+            DenialConstraint((Atom(SCHEMA.relation("R"), (Const("a"),)),))
+
+    def test_shape_predicates(self):
+        assert dc("R(x) -> false").is_linear
+        assert dc("E(x, y), R(x) -> false").is_guarded
+        assert not dc("R(x), P(y) -> false").is_guarded
+
+    def test_display_roundtrip(self):
+        constraint = dc("R(x), P(x) -> false")
+        assert isinstance(
+            parse_dependency(str(constraint), SCHEMA), DenialConstraint
+        )
+
+
+class TestSemantics:
+    def test_satisfaction(self):
+        constraint = dc("R(x), P(x) -> false")
+        assert constraint.satisfied_by(Instance.parse("R(a). P(b)", SCHEMA))
+        assert not constraint.satisfied_by(
+            Instance.parse("R(a). P(a)", SCHEMA)
+        )
+
+    def test_violations_listed(self):
+        constraint = dc("R(x) -> false")
+        assert len(
+            constraint.violations(Instance.parse("R(a). R(b)", SCHEMA))
+        ) == 2
+
+    def test_chase_fails_on_violation(self):
+        deps = list(parse_tgds("R(x) -> P(x)", SCHEMA)) + [
+            dc("R(x), P(x) -> false")
+        ]
+        result = chase(Instance.parse("R(a)", SCHEMA), deps)
+        assert result.failed
+
+    def test_chase_succeeds_when_consistent(self):
+        deps = list(parse_tgds("R(x) -> P(x)", SCHEMA)) + [
+            dc("E(x, x) -> false")
+        ]
+        result = chase(Instance.parse("R(a). E(a, b)", SCHEMA), deps)
+        assert result.successful
+
+    def test_oblivious_chase_rejects_dcs(self):
+        with pytest.raises(ChaseError):
+            chase(
+                Instance.parse("R(a)", SCHEMA),
+                [dc("R(x) -> false")],
+                variant="oblivious",
+            )
+
+    def test_entailment_from_inconsistent_theory(self):
+        from repro.entailment import entails
+        from repro.lang import parse_tgd
+
+        deps = list(parse_tgds("R(x) -> P(x)", SCHEMA)) + [
+            dc("R(x), P(x) -> false")
+        ]
+        # with R(x) frozen, the chase fails -> everything entailed.
+        anything = parse_tgd("R(x) -> E(x, x)", SCHEMA)
+        assert entails(deps, anything).is_true
+
+
+class TestOntologyIntegration:
+    def test_membership(self):
+        ontology = AxiomaticOntology(
+            list(parse_tgds("R(x) -> P(x)", SCHEMA)) + [dc("E(x, x) -> false")],
+            schema=SCHEMA,
+        )
+        assert ontology.contains(Instance.parse("P(a). E(a, b)", SCHEMA))
+        assert not ontology.contains(Instance.parse("P(a). E(a, a)", SCHEMA))
+
+    def test_dc_ontologies_not_critical(self):
+        # Lemma 3.2 fails with denial constraints: the critical instance
+        # always violates a dc — so dc-ontologies are provably not
+        # TGD-axiomatizable (the paper's motivation for studying them next).
+        from repro.properties import criticality_report
+
+        ontology = AxiomaticOntology([dc("E(x, x) -> false")], schema=SCHEMA)
+        report = criticality_report(ontology, max_k=1)
+        assert not report.holds
+
+    def test_dc_ontologies_closed_under_subinstances(self):
+        from repro.properties import subinstance_closure_report
+
+        ontology = AxiomaticOntology([dc("E(x, x) -> false")], schema=SCHEMA)
+        assert subinstance_closure_report(ontology, max_domain_size=2).holds
+
+    def test_chase_witness_skipped_gracefully(self):
+        # supersets_of must still work when the chase can fail.
+        ontology = AxiomaticOntology(
+            [dc("R(x), P(x) -> false")], schema=SCHEMA
+        )
+        anchor = Instance.parse("R(a)", SCHEMA)
+        witnesses = list(ontology.supersets_of(anchor, 0))
+        assert witnesses
+        for witness in witnesses:
+            assert ontology.contains(witness)

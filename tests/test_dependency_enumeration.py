@@ -1,0 +1,188 @@
+"""Unit tests for the LTGD/GTGD/TGD/E_{n,m} enumerators."""
+
+import pytest
+
+from repro import Schema
+from repro.dependencies import (
+    TGDClass,
+    all_in_class,
+    canonical_atom_patterns,
+    canonical_key,
+    dedup_canonical,
+    enumerate_dds,
+    enumerate_edds,
+    enumerate_frontier_guarded_tgds,
+    enumerate_full_tgds,
+    enumerate_guarded_tgds,
+    enumerate_heads,
+    enumerate_linear_tgds,
+    enumerate_tgds,
+    is_trivial_tgd,
+)
+from repro.lang import Var, parse_tgd
+
+UNARY = Schema.of(("R", 1), ("P", 1), ("T", 1))
+BINARY = Schema.of(("E", 2))
+
+
+class TestAtomPatterns:
+    def test_unary_patterns(self):
+        pats = canonical_atom_patterns(UNARY, 2)
+        # one pattern per unary relation (R(x0)) regardless of the bound
+        assert len(pats) == 3
+
+    def test_binary_patterns(self):
+        pats = canonical_atom_patterns(BINARY, 2)
+        # E(x0,x0) and E(x0,x1) — E(x1,x0) is a renaming of the latter.
+        assert len(pats) == 2
+
+    def test_binary_patterns_bound_one(self):
+        assert len(canonical_atom_patterns(BINARY, 1)) == 1
+
+    def test_zero_ary(self):
+        schema = Schema.of(("Aux", 0))
+        assert len(canonical_atom_patterns(schema, 3)) == 1
+
+    def test_patterns_pairwise_non_isomorphic(self):
+        pats = canonical_atom_patterns(Schema.of(("W", 3)), 3)
+        heads = [parse_tgd(f"{a} -> {a}".replace("?", "")) for a in map(str, pats)]
+        keys = {canonical_key(t) for t in heads}
+        assert len(keys) == len(pats) == 5  # Bell(3) = 5
+
+
+class TestHeads:
+    def test_full_heads_are_single_atoms(self):
+        heads = list(enumerate_heads(UNARY, (Var("x"),), 0))
+        assert all(len(h) == 1 for h in heads)
+        assert len(heads) == 3
+
+    def test_connected_heads_all_share_existentials(self):
+        heads = list(enumerate_heads(BINARY, (Var("x"),), 1))
+        for head in heads:
+            if len(head) > 1:
+                for atom in head:
+                    assert Var("w0") in atom.variables()
+
+    def test_disconnected_allowed_when_requested(self):
+        connected = list(enumerate_heads(UNARY, (Var("x"),), 0))
+        free = list(
+            enumerate_heads(UNARY, (Var("x"),), 0, connected_only=False)
+        )
+        assert len(free) > len(connected)
+
+    def test_max_atoms_cap(self):
+        capped = list(
+            enumerate_heads(BINARY, (Var("x"),), 1, max_atoms=1)
+        )
+        assert all(len(h) == 1 for h in capped)
+
+
+class TestLinearEnumeration:
+    def test_all_linear_and_within_width(self):
+        for tgd in enumerate_linear_tgds(UNARY, 1, 1):
+            assert tgd.is_linear
+            n, m = tgd.width
+            assert n <= 1 and m <= 1
+
+    def test_count_n1_m0_three_unaries(self):
+        # bodies R/P/T(x0), heads R/P/T(x0) — no empty-body heads at m=0.
+        assert sum(1 for __ in enumerate_linear_tgds(UNARY, 1, 0)) == 9
+
+    def test_no_canonical_duplicates(self):
+        tgds = list(enumerate_linear_tgds(BINARY, 2, 1))
+        assert len(dedup_canonical(tgds)) == len(tgds)
+
+    def test_empty_body_included_when_m_positive(self):
+        tgds = list(enumerate_linear_tgds(UNARY, 0, 1))
+        assert any(not t.body for t in tgds)
+
+    def test_covers_specific_candidates(self):
+        keys = {
+            canonical_key(t) for t in enumerate_linear_tgds(BINARY, 2, 1)
+        }
+        for text in (
+            "E(x, y) -> E(y, x)",
+            "E(x, y) -> exists z . E(y, z)",
+            "E(x, x) -> exists z . E(x, z), E(z, x)",
+        ):
+            assert canonical_key(parse_tgd(text, BINARY)) in keys
+
+
+class TestGuardedEnumeration:
+    def test_all_guarded_within_width(self):
+        for tgd in enumerate_guarded_tgds(UNARY, 1, 0):
+            assert tgd.is_guarded
+            assert tgd.width[0] <= 1
+
+    def test_includes_multi_atom_bodies(self):
+        tgds = list(enumerate_guarded_tgds(UNARY, 1, 0))
+        assert any(len(t.body) == 2 for t in tgds)
+
+    def test_superset_of_linear(self):
+        linear = {
+            canonical_key(t) for t in enumerate_linear_tgds(UNARY, 1, 0)
+        }
+        guarded = {
+            canonical_key(t) for t in enumerate_guarded_tgds(UNARY, 1, 0)
+        }
+        assert linear <= guarded
+
+    def test_covers_separation_witness(self):
+        keys = {
+            canonical_key(t) for t in enumerate_guarded_tgds(UNARY, 1, 0)
+        }
+        assert canonical_key(parse_tgd("R(x), P(x) -> T(x)", UNARY)) in keys
+
+    def test_body_cap(self):
+        capped = list(
+            enumerate_guarded_tgds(UNARY, 1, 0, max_extra_body_atoms=0)
+        )
+        assert all(len(t.body) <= 1 for t in capped)
+
+
+class TestGenericEnumeration:
+    def test_respects_class_filters(self):
+        fg = list(enumerate_frontier_guarded_tgds(UNARY, 2, 0))
+        assert fg and all_in_class(fg, TGDClass.FRONTIER_GUARDED)
+
+    def test_frontier_guarded_strictly_between(self):
+        # R(x), P(y) -> T(x) is frontier-guarded, not guarded.
+        keys = {
+            canonical_key(t)
+            for t in enumerate_frontier_guarded_tgds(UNARY, 2, 0)
+        }
+        witness = parse_tgd("R(x), P(y) -> T(x)", UNARY)
+        assert canonical_key(witness) in keys
+        guarded_keys = {
+            canonical_key(t) for t in enumerate_guarded_tgds(UNARY, 2, 0)
+        }
+        assert canonical_key(witness) not in guarded_keys
+
+    def test_full_enumeration_is_full(self):
+        full = list(enumerate_full_tgds(UNARY, 2))
+        assert full and all(t.is_full for t in full)
+
+    def test_tgd_enumeration_body_cap(self):
+        tgds = list(enumerate_tgds(UNARY, 2, 0, max_body_atoms=1))
+        assert all(len(t.body) <= 1 for t in tgds)
+
+
+class TestDisjunctiveEnumeration:
+    def test_dds_have_no_existentials(self):
+        for dd in enumerate_dds(UNARY, 1, max_body_atoms=1):
+            assert dd.is_dd
+
+    def test_edds_respect_width(self):
+        for edd in enumerate_edds(UNARY, 1, 1, max_disjuncts=2):
+            n, m = edd.width
+            assert n <= 1 and m <= 1
+
+    def test_edds_include_equality_heads(self):
+        edds = list(enumerate_edds(BINARY, 2, 0, max_disjuncts=1))
+        assert any(e.is_egd for e in edds)
+
+
+class TestTriviality:
+    def test_trivial_tgd_detection(self):
+        assert is_trivial_tgd(parse_tgd("R(x) -> R(x)", UNARY))
+        assert not is_trivial_tgd(parse_tgd("R(x) -> P(x)", UNARY))

@@ -1,0 +1,202 @@
+"""Unit tests for relative diagrams (Section 4.1) and Claim 4.6."""
+
+import pytest
+
+from repro import AxiomaticOntology, Instance, Schema, parse_tgds
+from repro.lang import Const
+from repro.properties import (
+    DiagramError,
+    extract_edd,
+    phi_satisfied_by,
+    relative_diagram,
+)
+
+SCHEMA = Schema.of(("R", 1), ("S", 1))
+BINARY = Schema.of(("E", 2))
+
+
+class TestRelativeDiagram:
+    def host(self) -> Instance:
+        return Instance.parse("R(c). S(c). R(d)", SCHEMA)
+
+    def test_lemma_4_3_host_satisfies_its_own_phi(self):
+        host = self.host()
+        for elements in ({Const("c")}, {Const("d")}, {Const("c"), Const("d")}):
+            diagram = relative_diagram(host.restrict(elements), host, 1)
+            assert phi_satisfied_by(diagram, host)
+
+    def test_violating_conjunctions_are_violating(self):
+        from repro.homomorphisms import satisfies_atoms
+
+        host = self.host()
+        anchor = host.restrict({Const("d")})
+        diagram = relative_diagram(anchor, host, 1)
+        fixed = {var: elem for elem, var in diagram.element_vars}
+        for conjunction in diagram.violating:
+            partial = {
+                fixed_var: elem
+                for elem, fixed_var in [
+                    (e, v) for e, v in diagram.element_vars
+                ]
+            }
+            # re-check the defining property: not satisfiable in the host
+            partial = {v: e for e, v in diagram.element_vars}
+            assert not satisfies_atoms(conjunction, host, partial)
+
+    def test_minimality_no_conjunct_contains_another(self):
+        host = self.host()
+        diagram = relative_diagram(host.restrict({Const("d")}), host, 1)
+        sets = [frozenset(c) for c in diagram.violating]
+        for i, a in enumerate(sets):
+            for j, b in enumerate(sets):
+                if i != j:
+                    assert not a < b
+
+    def test_anchor_must_be_contained(self):
+        host = self.host()
+        foreign = Instance.parse("R(zzz)", SCHEMA)
+        with pytest.raises(DiagramError):
+            relative_diagram(foreign, host, 0)
+
+    def test_anchor_dead_elements_rejected(self):
+        host = self.host()
+        padded = host.restrict({Const("c")}).with_domain(
+            {Const("c"), Const("d")}
+        )
+        with pytest.raises(DiagramError):
+            relative_diagram(padded, host, 0)
+
+    def test_empty_anchor_allowed(self):
+        host = self.host()
+        diagram = relative_diagram(host.restrict(set()), host, 1)
+        assert diagram.body_atoms == ()
+        # no S-and-nothing-else element: S(star) alone IS satisfiable,
+        # stars conjunctions that fail must be recorded.
+        assert all(len(c) >= 1 for c in diagram.violating)
+
+    def test_focus_restricts_conjunction_variables(self):
+        host = Instance.parse("E(a, b). E(b, a)", BINARY)
+        anchor = host.restrict({Const("a"), Const("b")})
+        full = relative_diagram(anchor, host, 1)
+        focused = relative_diagram(
+            anchor, host, 1, focus=frozenset({Const("a")})
+        )
+        assert len(focused.violating) <= len(full.violating)
+
+    def test_focus_outside_anchor_rejected(self):
+        host = self.host()
+        with pytest.raises(DiagramError):
+            relative_diagram(
+                host.restrict({Const("c")}),
+                host,
+                0,
+                focus=frozenset({Const("d")}),
+            )
+
+
+class TestExtractEdd:
+    def test_claim_4_6_shape(self):
+        host = Instance.parse("R(c). S(c). R(d)", SCHEMA)
+        anchor = host.restrict({Const("d")})
+        edd = extract_edd(relative_diagram(anchor, host, 1))
+        # body = the facts of K with variables, here R(x0).
+        assert len(edd.body) == 1
+        n, m = edd.width
+        assert n <= 1 and m <= 1
+
+    def test_extracted_edd_violated_by_host(self):
+        # This is the engine of Lemma 4.4: I ⊨ ∃Φ implies I ⊭ the edd.
+        host = Instance.parse("R(c). S(c). R(d)", SCHEMA)
+        anchor = host.restrict({Const("d")})
+        edd = extract_edd(relative_diagram(anchor, host, 1))
+        assert not edd.satisfied_by(host)
+
+    def test_extracted_edd_valid_in_separating_members(self):
+        # Claim 4.5 scenario: members J of O with J ⊭ ∃Φ satisfy the edd.
+        ontology = AxiomaticOntology(
+            parse_tgds("R(x) -> S(x)", SCHEMA), schema=SCHEMA
+        )
+        host = Instance.parse("R(c). S(c). R(d)", SCHEMA)
+        anchor = host.restrict({Const("d")})
+        diagram = relative_diagram(anchor, host, 1)
+        edd = extract_edd(diagram)
+        for member in ontology.members(2):
+            assert not phi_satisfied_by(diagram, member)
+            assert edd.satisfied_by(member)
+
+    def test_equalities_appear_for_multi_element_anchors(self):
+        from repro.dependencies import EqualityDisjunct
+
+        host = Instance.parse("E(a, b)", BINARY)
+        anchor = host.restrict({Const("a"), Const("b")})
+        edd = extract_edd(relative_diagram(anchor, host, 0))
+        assert any(
+            isinstance(d, EqualityDisjunct) for d in edd.disjuncts
+        )
+
+    def test_critical_situation_has_no_edd(self):
+        from repro.instances import critical_instance
+
+        host = critical_instance(SCHEMA, 1)
+        anchor = host.restrict(host.domain)
+        diagram = relative_diagram(anchor, host, 0)
+        with pytest.raises(DiagramError):
+            extract_edd(diagram)
+
+
+class TestPhiSatisfaction:
+    def test_phi_requires_distinctness(self):
+        # Φ contains inequalities: a host collapsing the anchor fails it.
+        host = Instance.parse("E(a, b). E(b, a)", BINARY)
+        anchor = host.restrict({Const("a"), Const("b")})
+        diagram = relative_diagram(anchor, host, 0)
+        loop = Instance.parse("E(o, o)", BINARY)
+        assert not phi_satisfied_by(diagram, loop)
+
+    def test_phi_blocked_by_violating_match(self):
+        host = Instance.parse("R(d)", SCHEMA)  # S(d) missing
+        anchor = host.restrict({Const("d")})
+        diagram = relative_diagram(anchor, host, 0)
+        richer = Instance.parse("R(u). S(u)", SCHEMA)
+        # in `richer`, every R-element has S — the negated conjunct
+        # ¬S(x0) of Φ cannot be honoured.
+        assert not phi_satisfied_by(diagram, richer)
+
+    def test_phi_satisfied_by_isomorphic_situation(self):
+        host = Instance.parse("R(d)", SCHEMA)
+        anchor = host.restrict({Const("d")})
+        diagram = relative_diagram(anchor, host, 0)
+        copy = Instance.parse("R(q)", SCHEMA)
+        assert phi_satisfied_by(diagram, copy)
+
+
+class TestClaim45Witness:
+    def test_witness_found_for_non_member(self):
+        from repro import AxiomaticOntology, parse_tgds
+        from repro.properties import find_separating_anchor
+
+        ontology = AxiomaticOntology(
+            parse_tgds("R(x) -> S(x)", SCHEMA), schema=SCHEMA
+        )
+        host = Instance.parse("R(c). S(c). R(d)", SCHEMA)
+        found = find_separating_anchor(ontology, host, 1, 0)
+        assert found is not None
+        anchor, diagram = found
+        # the anchor isolates the R-without-S element
+        assert len(anchor.active_domain) <= 1
+        edd = extract_edd(diagram)
+        assert not edd.satisfied_by(host)
+        for member in ontology.members(2):
+            assert edd.satisfied_by(member)
+
+    def test_no_witness_for_members(self):
+        from repro import AxiomaticOntology, parse_tgds
+        from repro.properties import find_separating_anchor
+
+        ontology = AxiomaticOntology(
+            parse_tgds("R(x) -> S(x)", SCHEMA), schema=SCHEMA
+        )
+        member = Instance.parse("R(c). S(c)", SCHEMA)
+        # Lemma 4.3: the host satisfies its own Φ for K = host itself, so
+        # a separating anchor cannot exist when the host is a member.
+        assert find_separating_anchor(ontology, member, 2, 0) is None

@@ -1,0 +1,172 @@
+"""Unit tests for the description-logic front-end."""
+
+import pytest
+
+from repro import TGDClass, chase
+from repro.dependencies import DenialConstraint, EGD, TGD, all_in_class
+from repro.dl import (
+    And,
+    AtomicConcept,
+    ConceptInclusion,
+    Disjointness,
+    DLError,
+    Exists,
+    FunctionalRole,
+    Role,
+    RoleInclusion,
+    TBox,
+    abox_instance,
+    translate_axiom,
+)
+
+A = AtomicConcept
+PERSON, PROF, COURSE = A("Person"), A("Professor"), A("Course")
+TEACHES = Role("teaches")
+
+
+class TestTranslation:
+    def test_atomic_inclusion_is_linear_full(self):
+        tgd = translate_axiom(ConceptInclusion(PROF, PERSON))
+        assert isinstance(tgd, TGD)
+        assert tgd.is_linear and tgd.is_full
+        assert str(tgd) == "Professor(x) -> Person(x)"
+
+    def test_unqualified_existential_rhs(self):
+        tgd = translate_axiom(ConceptInclusion(PROF, Exists(TEACHES)))
+        assert tgd.width == (1, 1)
+        assert tgd.is_linear and not tgd.is_full
+
+    def test_qualified_existential_rhs(self):
+        tgd = translate_axiom(ConceptInclusion(PROF, Exists(TEACHES, COURSE)))
+        assert len(tgd.head) == 2
+        assert tgd.existential_variables != ()
+
+    def test_inverse_role_lhs(self):
+        tgd = translate_axiom(
+            ConceptInclusion(Exists(TEACHES.inverse()), COURSE)
+        )
+        # ∃teaches⁻ ⊑ Course: the OBJECT of teaches is a course.
+        assert str(tgd) == "teaches(y, x) -> Course(x)"
+
+    def test_inverse_role_rhs(self):
+        tgd = translate_axiom(
+            ConceptInclusion(COURSE, Exists(TEACHES.inverse()))
+        )
+        assert str(tgd) == "Course(x) -> exists z . teaches(z, x)"
+
+    def test_conjunction_lhs_is_guarded_not_linear(self):
+        tgd = translate_axiom(
+            ConceptInclusion(And(PERSON, COURSE), A("Weird"))
+        )
+        assert not tgd.is_linear
+        assert tgd.is_guarded  # single variable: any atom guards
+
+    def test_role_inclusion(self):
+        tgd = translate_axiom(RoleInclusion(TEACHES, Role("involvedIn")))
+        assert str(tgd) == "teaches(x, y) -> involvedIn(x, y)"
+
+    def test_inverse_role_inclusion(self):
+        tgd = translate_axiom(
+            RoleInclusion(TEACHES.inverse(), Role("taughtBy"))
+        )
+        assert str(tgd) == "teaches(y, x) -> taughtBy(x, y)"
+
+    def test_disjointness_is_denial(self):
+        dep = translate_axiom(Disjointness(PERSON, COURSE))
+        assert isinstance(dep, DenialConstraint)
+
+    def test_functionality_is_egd(self):
+        dep = translate_axiom(FunctionalRole(TEACHES))
+        assert isinstance(dep, EGD)
+
+    def test_conjunction_rhs_rejected(self):
+        with pytest.raises(DLError):
+            translate_axiom(ConceptInclusion(PERSON, And(PROF, COURSE)))
+
+
+class TestTBox:
+    def tbox(self) -> TBox:
+        return TBox(
+            [
+                ConceptInclusion(PROF, PERSON),
+                ConceptInclusion(PROF, Exists(TEACHES, COURSE)),
+                ConceptInclusion(Exists(TEACHES.inverse()), COURSE),
+            ]
+        )
+
+    def test_dl_lite_tboxes_are_linear(self):
+        tbox = self.tbox()
+        assert tbox.is_dl_lite()
+        assert all_in_class(tbox.tgds(), TGDClass.LINEAR)
+
+    def test_el_conjunction_leaves_linear(self):
+        tbox = TBox(
+            [ConceptInclusion(And(PERSON, COURSE), A("Weird"))]
+        )
+        assert not tbox.is_dl_lite()
+        assert not all_in_class(tbox.tgds(), TGDClass.LINEAR)
+        assert all_in_class(tbox.tgds(), TGDClass.GUARDED)
+
+    def test_schema_is_unary_binary(self):
+        schema = self.tbox().schema()
+        assert all(rel.arity in (1, 2) for rel in schema)
+
+    def test_chase_abox(self):
+        tbox = self.tbox()
+        db = abox_instance([("Professor", "tarski")], tbox.schema())
+        result = chase(db, tbox.dependencies(), max_rounds=6)
+        assert result.successful
+        assert len(result.instance.tuples("teaches")) == 1
+        assert len(result.instance.tuples("Course")) == 1
+
+    def test_disjointness_inconsistency_detected(self):
+        tbox = TBox(
+            [
+                ConceptInclusion(PROF, PERSON),
+                Disjointness(PERSON, COURSE),
+            ]
+        )
+        db = abox_instance(
+            [("Professor", "x"), ("Course", "x")], tbox.schema()
+        )
+        result = chase(db, tbox.dependencies())
+        assert result.failed
+
+
+class TestAbox:
+    def test_concept_and_role_assertions(self):
+        db = abox_instance(
+            [("Person", "ada"), ("teaches", "ada", "logic")]
+        )
+        assert db.fact_count() == 2
+        assert db.schema.relation("teaches").arity == 2
+
+    def test_malformed_assertion(self):
+        with pytest.raises(DLError):
+            abox_instance([("R", "a", "b", "c")])
+
+
+class TestOmqaOverDL:
+    def test_dl_lite_is_fo_rewritable(self):
+        # DL-Lite ⟹ linear tgds ⟹ rewrite_ucq applies.
+        from repro.omqa import CQ, certain_answers, rewrite_ucq
+
+        tbox = TBox(
+            [
+                ConceptInclusion(PROF, PERSON),
+                ConceptInclusion(PROF, Exists(TEACHES, COURSE)),
+            ]
+        )
+        db = abox_instance([("Professor", "tarski")], tbox.schema())
+        query = CQ.parse("p <- Person(p)", tbox.schema())
+        chased = certain_answers(db, tbox.dependencies(), query)
+        rewritten = rewrite_ucq(query, tbox.tgds()).ucq.evaluate(db)
+        assert chased == rewritten != set()
+
+    def test_translated_sigma_g_shape_not_linearizable(self):
+        # the EL conjunction axiom is literally the paper's Σ_G shape.
+        from repro.rewriting import RewriteStatus, guarded_to_linear
+
+        tbox = TBox([ConceptInclusion(And(PERSON, COURSE), A("Weird"))])
+        result = guarded_to_linear(tbox.tgds())
+        assert result.status == RewriteStatus.FAILURE

@@ -1,0 +1,163 @@
+"""Edge cases and failure injection across modules: 0-ary relations
+end-to-end, empty objects, budget exhaustion, adversarial shapes."""
+
+import pytest
+
+from repro import (
+    AxiomaticOntology,
+    Instance,
+    Schema,
+    chase,
+    critical_instance,
+    direct_product,
+    entails,
+    parse_tgds,
+)
+from repro.dependencies import canonical_key, enumerate_linear_tgds
+from repro.entailment import TriBool
+from repro.homomorphisms import are_isomorphic, find_homomorphism
+from repro.lang import Atom, Const, Relation, Var, parse_dependency
+
+AUX_SCHEMA = Schema.of(("Aux", 0), ("R", 1))
+
+
+class TestZeroArityEndToEnd:
+    """The Appendix F reductions need a 0-ary Aux; every layer must
+    handle it."""
+
+    def test_parse_and_satisfaction(self):
+        tgd = parse_dependency("R(x) -> Aux()", AUX_SCHEMA)
+        with_aux = Instance.parse("R(a). Aux()", AUX_SCHEMA)
+        without = Instance.parse("R(a)", AUX_SCHEMA)
+        assert tgd.satisfied_by(with_aux)
+        assert not tgd.satisfied_by(without)
+
+    def test_chase_derives_aux(self):
+        rules = [parse_dependency("R(x) -> Aux()", AUX_SCHEMA)]
+        result = chase(Instance.parse("R(a)", AUX_SCHEMA), rules)
+        assert result.successful
+        assert result.instance.tuples("Aux") == frozenset({()})
+
+    def test_aux_triggers_rules(self):
+        rules = parse_tgds("-> exists z . R(z)", AUX_SCHEMA)
+        # empty-body tgd fires on the empty instance
+        result = chase(Instance.empty(AUX_SCHEMA), rules)
+        assert len(result.instance.tuples("R")) == 1
+
+    def test_entailment_through_aux(self):
+        rules = [
+            parse_dependency("R(x) -> Aux()", AUX_SCHEMA),
+            parse_dependency("Aux() -> exists z . R(z)", AUX_SCHEMA),
+        ]
+        goal = parse_dependency("R(x) -> exists z . R(z)", AUX_SCHEMA)
+        assert entails(rules, goal).is_true
+
+    def test_critical_instance_has_aux(self):
+        crit = critical_instance(AUX_SCHEMA, 1)
+        assert crit.tuples("Aux") == frozenset({()})
+
+    def test_product_of_aux(self):
+        a = Instance.parse("Aux(). R(a)", AUX_SCHEMA)
+        b = Instance.parse("R(u)", AUX_SCHEMA)
+        assert direct_product(a, b).tuples("Aux") == frozenset()
+        assert direct_product(a, a).tuples("Aux") == frozenset({()})
+
+    def test_isomorphism_sees_aux(self):
+        a = Instance.parse("Aux(). R(a)", AUX_SCHEMA)
+        b = Instance.parse("R(u)", AUX_SCHEMA)
+        assert not are_isomorphic(a, b)
+
+
+class TestEmptyObjects:
+    def test_empty_schema_instance(self):
+        empty = Instance.empty(Schema(()))
+        assert empty.is_empty()
+        assert list(empty.facts()) == []
+
+    def test_hom_between_empty_instances(self):
+        schema = Schema.of(("R", 1))
+        assert find_homomorphism(
+            Instance.empty(schema), Instance.empty(schema)
+        ) == {}
+
+    def test_ontology_over_empty_dependency_set(self):
+        ontology = AxiomaticOntology((), schema=Schema.of(("R", 1)))
+        assert ontology.contains(Instance.parse("R(a)", Schema.of(("R", 1))))
+        assert len(list(ontology.members(1))) == 3  # {}, {}, {R(a0)} layers
+
+    def test_chase_of_empty_instance_no_rules(self):
+        result = chase(Instance.empty(Schema.of(("R", 1))), [])
+        assert result.successful and result.instance.is_empty()
+
+
+class TestBudgets:
+    SCHEMA = Schema.of(("E", 2), ("P", 1))
+
+    def diverging(self):
+        return parse_tgds(
+            "P(x) -> exists z . E(x, z)\nE(x, y) -> P(y)", self.SCHEMA
+        )
+
+    def test_zero_round_budget(self):
+        db = Instance.parse("P(a)", self.SCHEMA)
+        result = chase(db, self.diverging(), max_rounds=0)
+        assert not result.terminated
+        assert result.instance.facts() == db.facts()
+
+    def test_unknown_is_not_false(self):
+        goal = parse_tgds("P(x) -> E(x, x)", self.SCHEMA)[0]
+        verdict = entails(self.diverging(), goal, max_rounds=2)
+        assert verdict is TriBool.UNKNOWN
+        assert not verdict.is_false
+
+    def test_bigger_budget_keeps_positive_verdicts(self):
+        goal = parse_tgds("P(x) -> exists z . E(x, z)", self.SCHEMA)[0]
+        for budget in (1, 3, 6):
+            assert entails(
+                self.diverging(), goal, max_rounds=budget
+            ).is_true
+
+
+class TestAdversarialShapes:
+    def test_self_join_heavy_tgd(self):
+        schema = Schema.of(("E", 2),)
+        tgds = parse_tgds(
+            "E(x, x), E(x, y), E(y, x), E(y, y) -> E(y, x)", schema
+        )
+        loop = Instance.parse("E(o, o)", schema)
+        assert tgds[0].satisfied_by(loop)
+
+    def test_wide_relation_canonicalization(self):
+        wide = Schema.of(("W", 4))
+        tgd = parse_tgds("W(a, b, a, b) -> W(b, a, b, a)", wide)[0]
+        variant = parse_tgds("W(p, q, p, q) -> W(q, p, q, p)", wide)[0]
+        assert canonical_key(tgd) == canonical_key(variant)
+
+    def test_enumeration_of_empty_schema(self):
+        assert list(enumerate_linear_tgds(Schema(()), 2, 1)) == []
+
+    def test_instance_with_tuple_elements(self):
+        # product elements (pairs) must survive every instance operation
+        schema = Schema.of(("R", 1))
+        a = Instance.parse("R(u)", schema)
+        b = Instance.parse("R(v)", schema)
+        product = direct_product(a, b)
+        assert product.restrict(product.domain) == product
+        renamed = product.rename(lambda e: Const(f"{e[0]}_{e[1]}"))
+        assert renamed.fact_count() == 1
+
+    def test_deep_chase_chain(self):
+        schema = Schema.of(("E", 2), ("P", 1))
+        rules = parse_tgds("E(x, y), P(x) -> P(y)", schema)
+        facts = ". ".join(f"E(v{i}, v{i + 1})" for i in range(30))
+        db = Instance.parse(facts + ". P(v0)", schema)
+        result = chase(db, rules)
+        assert result.successful
+        assert len(result.instance.tuples("P")) == 31
+
+    def test_variable_shadowing_across_rules(self):
+        # the same variable names in different rules must not interact.
+        schema = Schema.of(("R", 1), ("S", 1), ("T", 1))
+        rules = parse_tgds("R(x) -> S(x)\nS(x) -> T(x)", schema)
+        result = chase(Instance.parse("R(a)", schema), rules)
+        assert len(result.instance.tuples("T")) == 1

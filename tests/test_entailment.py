@@ -1,0 +1,179 @@
+"""Unit tests for freeze-and-chase entailment and equivalence."""
+
+import pytest
+
+from repro import BCQ, Instance, Schema, certain_answer, entails, equivalent
+from repro.entailment import (
+    TriBool,
+    UndecidedError,
+    entailed_by_empty_theory,
+    entails_all,
+    freeze_atoms,
+    tri_all,
+)
+from repro.lang import parse_atoms, parse_edd, parse_egd, parse_tgd, parse_tgds
+
+SCHEMA = Schema.of(("E", 2), ("P", 1), ("Q", 1))
+
+
+def rules(text: str):
+    return parse_tgds(text, SCHEMA)
+
+
+class TestTriBool:
+    def test_kleene_tables(self):
+        T, F, U = TriBool.TRUE, TriBool.FALSE, TriBool.UNKNOWN
+        assert (T & U) is U and (F & U) is F
+        assert (T | U) is T and (F | U) is U
+        assert (~U) is U and (~T) is F
+
+    def test_no_bool_coercion(self):
+        with pytest.raises(TypeError):
+            bool(TriBool.TRUE)
+
+    def test_require(self):
+        assert TriBool.TRUE.require() is True
+        with pytest.raises(UndecidedError):
+            TriBool.UNKNOWN.require("context")
+
+    def test_tri_all_short_circuits(self):
+        def generator():
+            yield TriBool.FALSE
+            raise AssertionError("must not be consumed")
+
+        assert tri_all(generator()) is TriBool.FALSE
+
+
+class TestFreeze:
+    def test_freeze_produces_database(self):
+        atoms = parse_atoms("E(x, y), P(x)", SCHEMA)
+        db, mapping = freeze_atoms(atoms)
+        assert db.fact_count() == 2
+        assert len(mapping) == 2
+        assert len(db.domain) == 2
+
+
+class TestEntailment:
+    def test_transitivity_chain(self):
+        sigma = rules("E(x, y) -> P(x)\nP(x) -> Q(x)")
+        assert entails(sigma, parse_tgd("E(x, y) -> Q(x)", SCHEMA)).is_true
+
+    def test_non_entailment(self):
+        sigma = rules("E(x, y) -> P(x)")
+        assert entails(sigma, parse_tgd("E(x, y) -> P(y)", SCHEMA)).is_false
+
+    def test_existential_conclusion(self):
+        sigma = rules("P(x) -> exists z . E(x, z)")
+        assert entails(
+            sigma, parse_tgd("P(x) -> exists w . E(x, w)", SCHEMA)
+        ).is_true
+        assert entails(
+            sigma, parse_tgd("P(x) -> exists w . E(w, x)", SCHEMA)
+        ).is_false
+
+    def test_stronger_body_entailed(self):
+        sigma = rules("E(x, y) -> P(x)")
+        assert entails(
+            sigma, parse_tgd("E(x, y), Q(x) -> P(x)", SCHEMA)
+        ).is_true
+
+    def test_unknown_on_nonterminating_negative(self):
+        sigma = rules("P(x) -> exists z . E(x, z)\nE(x, z) -> P(z)")
+        verdict = entails(sigma, parse_tgd("P(x) -> Q(x)", SCHEMA))
+        assert verdict is TriBool.UNKNOWN
+
+    def test_positive_found_despite_nontermination(self):
+        sigma = rules("P(x) -> exists z . E(x, z)\nE(x, z) -> P(z)")
+        assert entails(
+            sigma, parse_tgd("P(x) -> exists z . E(x, z)", SCHEMA)
+        ).is_true
+
+    def test_empty_body_conclusion(self):
+        sigma = rules("-> exists z . P(z)")
+        assert entails(sigma, parse_tgd("-> exists w . P(w)", SCHEMA)).is_true
+        assert entails((), parse_tgd("-> exists w . P(w)", SCHEMA)).is_false
+
+    def test_egd_conclusion_from_tgds_is_false(self):
+        sigma = rules("E(x, y) -> P(x)")
+        assert entails(
+            sigma, parse_egd("E(x, y), E(x, z) -> y = z", SCHEMA)
+        ).is_false
+
+    def test_egd_conclusion_from_egds(self):
+        key = parse_egd("E(x, y), E(x, z) -> y = z", SCHEMA)
+        sym = parse_tgd("E(x, y) -> E(y, x)", SCHEMA)
+        concl = parse_egd("E(x, y), E(z, y) -> x = z", SCHEMA)
+        assert entails([key], concl).is_false
+        assert entails([key, sym], concl).is_true
+
+    def test_trivial_egd_always_entailed(self):
+        assert entails((), parse_egd("E(x, y) -> x = x", SCHEMA)).is_true
+
+    def test_edd_conclusion(self):
+        sigma = rules("P(x) -> Q(x)")
+        disj = parse_edd("P(x) -> Q(x) | exists z . E(x, z)", SCHEMA)
+        assert entails(sigma, disj).is_true
+        other = parse_edd("Q(x) -> P(x) | exists z . E(x, z)", SCHEMA)
+        assert entails(sigma, other).is_false
+
+    def test_entails_all(self):
+        sigma = rules("E(x, y) -> P(x)\nP(x) -> Q(x)")
+        goals = rules("E(x, y) -> Q(x)\nP(x) -> Q(x)")
+        assert entails_all(sigma, list(goals)).is_true
+
+    def test_entailed_by_empty_theory(self):
+        assert entailed_by_empty_theory(parse_tgd("P(x) -> P(x)", SCHEMA))
+        assert not entailed_by_empty_theory(parse_tgd("P(x) -> Q(x)", SCHEMA))
+
+
+class TestEquivalence:
+    def test_reflexive(self):
+        sigma = rules("E(x, y) -> P(x)")
+        assert equivalent(sigma, sigma).is_true
+
+    def test_reformulation(self):
+        left = rules("E(x, y) -> P(x)\nP(x) -> Q(x)\nE(x, y) -> Q(x)")
+        right = rules("E(x, y) -> P(x)\nP(x) -> Q(x)")
+        assert equivalent(left, right).is_true
+
+    def test_non_equivalence(self):
+        assert equivalent(
+            rules("E(x, y) -> P(x)"), rules("E(x, y) -> P(y)")
+        ).is_false
+
+    def test_stronger_not_equivalent(self):
+        strong = rules("E(x, y) -> P(x)")
+        weak = rules("E(x, y), Q(x) -> P(x)")
+        assert equivalent(strong, weak).is_false
+
+
+class TestCertainAnswers:
+    def test_query_after_chase(self):
+        sigma = rules("P(x) -> exists z . E(x, z)")
+        db = Instance.parse("P(a)", SCHEMA)
+        q = BCQ(parse_atoms("E(x, y)", SCHEMA))
+        assert certain_answer(db, sigma, q).is_true
+
+    def test_query_with_constants(self):
+        from repro.lang import Atom, Const, Var
+
+        sigma = rules("E(x, y) -> E(y, x)")
+        db = Instance.parse("E(a, b)", SCHEMA)
+        q = BCQ([Atom(SCHEMA.relation("E"), (Const("b"), Var("w")))])
+        assert certain_answer(db, sigma, q).is_true
+
+    def test_negative_certain_answer(self):
+        sigma = rules("E(x, y) -> P(x)")
+        db = Instance.parse("E(a, b)", SCHEMA)
+        q = BCQ(parse_atoms("Q(x)", SCHEMA))
+        assert certain_answer(db, sigma, q).is_false
+
+    def test_unknown_when_budget_exhausted(self):
+        sigma = rules("P(x) -> exists z . E(x, z)\nE(x, z) -> P(z)")
+        db = Instance.parse("P(a)", SCHEMA)
+        q = BCQ(parse_atoms("Q(x)", SCHEMA))
+        assert certain_answer(db, sigma, q, max_rounds=3) is TriBool.UNKNOWN
+
+    def test_bcq_requires_atoms(self):
+        with pytest.raises(ValueError):
+            BCQ(())

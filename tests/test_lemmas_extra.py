@@ -1,0 +1,141 @@
+"""Deeper integration tests: the Linearization (6.3), Guardedization
+(7.3) and frontier-guarded (8.3) lemmas, the locality implications
+(Lemmas 6.2 / 7.2 / 8.2), and corollary-level statements."""
+
+import pytest
+
+from repro import AxiomaticOntology, Instance, Schema, TGDClass, parse_tgds
+from repro.dependencies import all_in_class, set_width
+from repro.entailment import equivalent
+from repro.instances import all_instances_up_to
+from repro.properties import LocalityMode, locality_report, locally_embeddable
+from repro.rewriting import (
+    RewriteStatus,
+    frontier_guarded_to_guarded,
+    guarded_to_linear,
+    rewrite,
+)
+
+UNARY3 = Schema.of(("R", 1), ("P", 1), ("T", 1))
+BINARY = Schema.of(("E", 2), ("V", 1))
+
+
+def axiomatic(text: str, schema=UNARY3) -> AxiomaticOntology:
+    return AxiomaticOntology(parse_tgds(text, schema), schema=schema)
+
+
+class TestLinearizationLemma:
+    """Lemma 6.3 on concrete TGD_{n,m}-ontologies: (1) ⇔ (2) ⇔ (3)."""
+
+    CASES_LINEARIZABLE = [
+        "R(x) -> T(x)",
+        "R(x) -> P(x)\nR(x), P(x) -> T(x)",
+        "R(x), R(x) -> T(x)",
+    ]
+    CASES_NOT = [
+        "R(x), P(x) -> T(x)",
+    ]
+
+    @pytest.mark.parametrize("text", CASES_LINEARIZABLE)
+    def test_linearizable_sets_are_linear_local(self, text):
+        sigma = parse_tgds(text, UNARY3)
+        n, m = set_width(sigma)
+        ontology = AxiomaticOntology(sigma, schema=UNARY3)
+        space = list(all_instances_up_to(UNARY3, 2))
+        # (1) holds — verify (3): linear (n, m)-locality.
+        assert locality_report(
+            ontology, n, m, space, mode=LocalityMode.LINEAR
+        ).holds
+        # and (2): the rewriting stays within LTGD_{n,m}.
+        result = guarded_to_linear(sigma, schema=UNARY3)
+        assert result.succeeded
+        rn, rm = set_width(result.rewriting)
+        assert rn <= n and rm <= m
+
+    @pytest.mark.parametrize("text", CASES_NOT)
+    def test_non_linearizable_sets_fail_linear_locality(self, text):
+        sigma = parse_tgds(text, UNARY3)
+        n, m = set_width(sigma)
+        ontology = AxiomaticOntology(sigma, schema=UNARY3)
+        space = list(all_instances_up_to(UNARY3, 1))
+        assert not locality_report(
+            ontology, n, m, space, mode=LocalityMode.LINEAR
+        ).holds
+        assert guarded_to_linear(sigma, schema=UNARY3).status == (
+            RewriteStatus.FAILURE
+        )
+
+
+class TestGuardedizationLemma:
+    """Lemma 7.3 analogue."""
+
+    def test_guardable_fg_set(self):
+        sigma = parse_tgds("R(x) -> P(x)\nR(x), P(y) -> T(x)", UNARY3)
+        n, m = set_width(sigma)
+        ontology = AxiomaticOntology(sigma, schema=UNARY3)
+        space = list(all_instances_up_to(UNARY3, 2))
+        assert locality_report(
+            ontology, n, m, space, mode=LocalityMode.GUARDED
+        ).holds
+        result = frontier_guarded_to_guarded(sigma, schema=UNARY3)
+        assert result.succeeded
+        rn, rm = set_width(result.rewriting)
+        assert rn <= n and rm <= m
+
+    def test_unguardable_fg_set(self):
+        sigma = parse_tgds("R(x), P(y) -> T(x)", UNARY3)
+        ontology = AxiomaticOntology(sigma, schema=UNARY3)
+        space = list(all_instances_up_to(UNARY3, 2))
+        assert not locality_report(
+            ontology, 2, 0, space, mode=LocalityMode.GUARDED
+        ).holds
+
+
+class TestLocalityImplicationLemmas:
+    """Lemmas 6.2 / 7.2 / 8.2: refined locality implies general locality —
+    via the contrapositive on embeddability: general embeddability implies
+    refined embeddability (the anchors shrink)."""
+
+    @pytest.mark.parametrize(
+        "mode",
+        [LocalityMode.LINEAR, LocalityMode.GUARDED],
+    )
+    def test_general_embeddability_implies_refined(self, mode):
+        ontology = axiomatic("R(x), P(x) -> T(x)")
+        for instance in all_instances_up_to(UNARY3, 2):
+            if locally_embeddable(
+                ontology, instance, 2, 0, mode=LocalityMode.GENERAL
+            ):
+                assert locally_embeddable(
+                    ontology, instance, 2, 0, mode=mode
+                ), f"refinement lost embeddability at {instance}"
+
+
+class TestCorollaries:
+    def test_corollary_5_1_full_iff_n0_local(self):
+        # (n, 0)-local + critical + ⊗-closed ⟺ FTGD-ontology.
+        full = axiomatic("R(x) -> T(x)")
+        space = list(all_instances_up_to(UNARY3, 2))
+        assert locality_report(full, 1, 0, space).holds
+        existential = AxiomaticOntology(
+            parse_tgds("V(x) -> exists z . E(x, z)", BINARY), schema=BINARY
+        )
+        space_b = list(all_instances_up_to(BINARY, 2))
+        # not (n, 0)-local for small n: the ontology needs m = 1.
+        assert not locality_report(existential, 1, 0, space_b).holds
+        assert locality_report(existential, 1, 1, space_b).holds
+
+    def test_full_rewrite_mirrors_corollary(self):
+        sigma = parse_tgds("V(x) -> exists z . E(x, z)", BINARY)
+        result = rewrite(sigma, TGDClass.FULL, schema=BINARY, max_body_atoms=1)
+        assert result.status == RewriteStatus.FAILURE
+
+    def test_class_chain_on_rewritings(self):
+        # LTGD ⊆ GTGD ⊆ FGTGD mirrored by rewriting successes.
+        sigma = parse_tgds("R(x) -> T(x)", UNARY3)
+        linear = guarded_to_linear(sigma, schema=UNARY3)
+        guarded = frontier_guarded_to_guarded(sigma, schema=UNARY3)
+        assert linear.succeeded and guarded.succeeded
+        assert all_in_class(linear.rewriting, TGDClass.LINEAR)
+        assert all_in_class(linear.rewriting, TGDClass.GUARDED)
+        assert equivalent(linear.rewriting, guarded.rewriting).is_true

@@ -1,0 +1,103 @@
+"""Unit tests for m-neighbourhoods and subinstance iterators."""
+
+import pytest
+
+from repro import Instance, Schema
+from repro.instances import (
+    induced_subinstances,
+    m_neighbourhood,
+    maximal_m_neighbourhood_members,
+    subinstances_with_adom_at_most,
+)
+from repro.instances.instance import InstanceError
+from repro.lang import Const
+
+SCHEMA = Schema.of(("R", 2), ("S", 1))
+
+
+def inst(text: str) -> Instance:
+    return Instance.parse(text, SCHEMA)
+
+
+HOST = Instance.parse("R(a, b). R(b, c). S(a). S(c)", SCHEMA)
+
+
+class TestInducedSubinstances:
+    def test_all_are_subinstances(self):
+        for sub in induced_subinstances(HOST):
+            assert sub.is_subinstance_of(HOST)
+
+    def test_count_over_active_domain(self):
+        # 3 active elements -> 8 induced restrictions.
+        assert sum(1 for __ in induced_subinstances(HOST)) == 8
+
+    def test_base_always_included(self):
+        base = frozenset({Const("a")})
+        subs = list(induced_subinstances(HOST, base=base, max_extra=1))
+        assert all(base <= sub.domain for sub in subs)
+        assert len(subs) == 3  # {a}, {a,b}, {a,c}
+
+    def test_base_outside_domain_rejected(self):
+        with pytest.raises(InstanceError):
+            list(induced_subinstances(HOST, base=frozenset({Const("z")})))
+
+
+class TestBoundedSubinstances:
+    def test_adom_bound_respected(self):
+        for sub in subinstances_with_adom_at_most(HOST, 2):
+            assert len(sub.active_domain) <= 2
+
+    def test_empty_restriction_first(self):
+        first = next(subinstances_with_adom_at_most(HOST, 2))
+        assert first.is_empty()
+
+    def test_no_duplicate_fact_sets_from_inactive_choices(self):
+        # restricting to {a, c} leaves both active (S-facts), but {b}
+        # alone has no facts => same facts as the empty restriction, and
+        # must not be double-reported at size 1.
+        subs = list(subinstances_with_adom_at_most(HOST, 1))
+        fact_sets = [frozenset(s.facts()) for s in subs]
+        assert len(fact_sets) == len(set(fact_sets))
+
+
+class TestNeighbourhood:
+    def test_members_contain_focus(self):
+        for member in m_neighbourhood(HOST, {Const("a")}, 1):
+            assert Const("a") in member.active_domain
+
+    def test_size_bound(self):
+        for member in m_neighbourhood(HOST, {Const("a")}, 1):
+            assert len(member.active_domain) <= 2
+
+    def test_anchor_instance_uses_its_adom(self):
+        anchor = HOST.restrict({Const("a")})
+        members = list(m_neighbourhood(HOST, anchor, 0))
+        assert members == [anchor]
+
+    def test_zero_neighbourhood_of_empty_focus(self):
+        members = list(m_neighbourhood(HOST, frozenset(), 0))
+        assert len(members) == 1 and members[0].is_empty()
+
+    def test_focus_must_be_active(self):
+        padded = HOST.with_domain(set(HOST.domain) | {Const("dead")})
+        assert list(m_neighbourhood(padded, {Const("dead")}, 2)) == []
+
+    def test_maximal_members_dominate(self):
+        focus = frozenset({Const("a")})
+        maximal = list(maximal_m_neighbourhood_members(HOST, focus, 1))
+        everything = list(m_neighbourhood(HOST, focus, 1))
+        for member in everything:
+            assert any(
+                member.is_subinstance_of(big) for big in maximal
+            ), f"{member} not dominated"
+
+    def test_maximal_count(self):
+        focus = frozenset({Const("a")})
+        # pool = {b, c}; members of size |F|+1 -> two of them.
+        assert len(list(maximal_m_neighbourhood_members(HOST, focus, 1))) == 2
+
+    def test_m_larger_than_pool(self):
+        focus = frozenset({Const("a")})
+        members = list(maximal_m_neighbourhood_members(HOST, focus, 99))
+        assert len(members) == 1
+        assert members[0].facts() == HOST.facts()

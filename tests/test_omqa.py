@@ -1,0 +1,184 @@
+"""Unit tests for ontology-mediated query answering: CQs, certain
+answers, and UCQ rewriting for linear tgds."""
+
+import pytest
+
+from repro import Instance, Schema, parse_tgds
+from repro.lang import Const, Var
+from repro.omqa import CQ, UCQ, certain_answers, rewrite_ucq, subsumes
+
+SCHEMA = Schema.of(
+    ("Enrolled", 2), ("Student", 1), ("HasTutor", 2), ("Lecturer", 1)
+)
+SIGMA = parse_tgds(
+    """
+    Enrolled(s, c) -> Student(s)
+    Student(s) -> exists t . HasTutor(s, t)
+    HasTutor(s, t) -> Lecturer(t)
+    """,
+    SCHEMA,
+)
+DB = Instance.parse("Enrolled(ada, logic). Student(bob)", SCHEMA)
+
+GRAPH = Schema.of(("E", 2), ("Start", 1))
+GROWING = parse_tgds(
+    "Start(x) -> exists y . E(x, y)\nE(x, y) -> exists z . E(y, z)",
+    GRAPH,
+)
+
+
+class TestCQ:
+    def test_parse_with_answer_vars(self):
+        q = CQ.parse("x, y <- E(x, z), E(z, y)", GRAPH)
+        assert q.answer == (Var("x"), Var("y"))
+        assert len(q.atoms) == 2
+
+    def test_parse_boolean(self):
+        q = CQ.parse("E(x, y)", GRAPH)
+        assert q.is_boolean
+
+    def test_answer_vars_must_occur(self):
+        with pytest.raises(ValueError):
+            CQ.parse("w <- E(x, y)", GRAPH)
+
+    def test_evaluate_projects(self):
+        db = Instance.parse("E(a, b). E(b, c)", GRAPH)
+        q = CQ.parse("x <- E(x, y)", GRAPH)
+        assert q.evaluate(db) == {(Const("a"),), (Const("b"),)}
+
+    def test_evaluate_boolean(self):
+        db = Instance.parse("E(a, b)", GRAPH)
+        assert CQ.parse("E(x, y)", GRAPH).evaluate(db) == {()}
+        assert CQ.parse("E(x, x)", GRAPH).evaluate(db) == set()
+
+    def test_existential_variables(self):
+        q = CQ.parse("x <- E(x, z)", GRAPH)
+        assert q.existential_variables() == (Var("z"),)
+
+    def test_ucq_arity_check(self):
+        with pytest.raises(ValueError):
+            UCQ((CQ.parse("x <- E(x, y)", GRAPH), CQ.parse("E(x, y)", GRAPH)))
+
+    def test_ucq_union_semantics(self):
+        db = Instance.parse("E(a, b). Start(c)", GRAPH)
+        ucq = UCQ(
+            (CQ.parse("x <- E(x, y)", GRAPH), CQ.parse("x <- Start(x)", GRAPH))
+        )
+        assert ucq.evaluate(db) == {(Const("a"),), (Const("c"),)}
+
+
+class TestCertainAnswers:
+    def test_derived_facts_count(self):
+        q = CQ.parse("s <- Student(s)", SCHEMA)
+        assert certain_answers(DB, SIGMA, q) == {
+            (Const("ada"),),
+            (Const("bob"),),
+        }
+
+    def test_null_answers_filtered(self):
+        # every student has a tutor, but the tutors are invented.
+        q = CQ.parse("t <- HasTutor(s, t)", SCHEMA)
+        assert certain_answers(DB, SIGMA, q) == set()
+
+    def test_boolean_certain_answer(self):
+        q = CQ.parse("HasTutor(s, t), Lecturer(t)", SCHEMA)
+        assert certain_answers(DB, SIGMA, q) == {()}
+
+    def test_failing_chase_raises(self):
+        from repro.lang import parse_dependency
+
+        key = parse_dependency("Enrolled(s, c), Enrolled(s, d) -> c = d", SCHEMA)
+        db = Instance.parse("Enrolled(a, c1). Enrolled(a, c2)", SCHEMA)
+        with pytest.raises(ValueError):
+            certain_answers(db, list(SIGMA) + [key], CQ.parse("Student(s)", SCHEMA))
+
+
+class TestRewriting:
+    def test_rejects_non_linear(self):
+        non_linear = parse_tgds("Student(s), Lecturer(s) -> Enrolled(s, s)", SCHEMA)
+        with pytest.raises(ValueError):
+            rewrite_ucq(CQ.parse("Student(s)", SCHEMA), non_linear)
+
+    def test_atomic_query_rewriting(self):
+        q = CQ.parse("s <- Student(s)", SCHEMA)
+        result = rewrite_ucq(q, SIGMA)
+        assert result.complete
+        assert result.ucq.evaluate(DB) == certain_answers(DB, SIGMA, q)
+
+    def test_join_query_rewriting(self):
+        q = CQ.parse("s <- HasTutor(s, t), Lecturer(t)", SCHEMA)
+        result = rewrite_ucq(q, SIGMA)
+        assert result.complete
+        assert result.ucq.evaluate(DB) == certain_answers(DB, SIGMA, q)
+        # the saturation must have reached the data-level reformulations
+        texts = {str(d) for d in result.ucq}
+        assert "s <- Student(s)" in texts
+        assert any("Enrolled" in t for t in texts)
+
+    def test_answer_variable_blocks_invention(self):
+        # t is an answer variable: it cannot be unified with the invented
+        # tutor, so Lecturer(t) does NOT rewrite to Student(...).
+        q = CQ.parse("t <- Lecturer(t)", SCHEMA)
+        result = rewrite_ucq(q, SIGMA)
+        texts = {str(d) for d in result.ucq}
+        assert "t <- Lecturer(t)" in texts
+        assert not any("Student" in t for t in texts)
+
+    def test_non_weakly_acyclic_linear_rules_terminate(self):
+        q = CQ.parse("x <- E(x, u), E(u, v)", GRAPH)
+        result = rewrite_ucq(q, GROWING)
+        assert result.complete
+        db = Instance.parse("Start(a). E(b, c)", GRAPH)
+        assert result.ucq.evaluate(db) == {
+            (Const("a"),),
+            (Const("b"),),
+            (Const("c"),),
+        }
+
+    def test_rewriting_soundness_random_dbs(self, rng):
+        # every disjunct's answers are certain (soundness), on random dbs.
+        from repro.workloads import random_instance
+
+        q = CQ.parse("s <- Lecturer(s)", SCHEMA)
+        result = rewrite_ucq(q, SIGMA)
+        for __ in range(5):
+            db = random_instance(rng, SCHEMA, 3, density=0.3)
+            assert result.ucq.evaluate(db) <= certain_answers(db, SIGMA, q)
+
+    def test_constants_in_query(self):
+        from repro.lang import Atom
+
+        q = CQ(
+            (Atom(SCHEMA.relation("Student"), (Const("ada"),)),), ()
+        )
+        result = rewrite_ucq(q, SIGMA)
+        db = Instance.parse("Enrolled(ada, logic)", SCHEMA)
+        assert result.ucq.evaluate(db) == {()}
+
+    def test_bookkeeping(self):
+        q = CQ.parse("s <- Student(s)", SCHEMA)
+        result = rewrite_ucq(q, SIGMA)
+        assert result.generated >= len(result.ucq) - 1
+
+
+class TestSubsumption:
+    def test_more_general_subsumes(self):
+        general = CQ.parse("x <- E(x, y)", GRAPH)
+        specific = CQ.parse("x <- E(x, y), E(y, z)", GRAPH)
+        assert subsumes(general, specific)
+        assert not subsumes(specific, general)
+
+    def test_answer_positions_respected(self):
+        q1 = CQ.parse("x <- E(x, y)", GRAPH)
+        q2 = CQ.parse("y <- E(x, y)", GRAPH)
+        assert not subsumes(q1, q2)
+
+    def test_alphabetic_variants_mutually_subsume(self):
+        q1 = CQ.parse("x <- E(x, y)", GRAPH)
+        q2 = CQ.parse("u <- E(u, w)", GRAPH)
+        assert subsumes(q1, q2) and subsumes(q2, q1)
+
+    def test_arity_mismatch(self):
+        q1 = CQ.parse("x <- E(x, y)", GRAPH)
+        q2 = CQ.parse("x, y <- E(x, y)", GRAPH)
+        assert not subsumes(q1, q2)

@@ -1,0 +1,129 @@
+"""Unit tests for instance algebra: ⊗, ∩, ∪, disjoint union."""
+
+import pytest
+
+from repro import Instance, Schema
+from repro.instances import (
+    direct_product,
+    direct_product_many,
+    disjoint_union,
+    intersection,
+    rename_apart,
+    union,
+)
+from repro.instances.instance import InstanceError
+from repro.lang import Const
+
+SCHEMA = Schema.of(("R", 2), ("S", 1))
+AUX_SCHEMA = Schema.of(("Aux", 0), ("S", 1))
+
+
+def inst(text: str, schema=SCHEMA) -> Instance:
+    return Instance.parse(text, schema)
+
+
+class TestDirectProduct:
+    def test_domain_is_cartesian(self):
+        a = inst("S(a). S(b)")
+        b = inst("S(u)")
+        prod = direct_product(a, b)
+        assert len(prod.domain) == 2
+
+    def test_fact_iff_both_projections(self):
+        from repro.lang import Fact
+
+        a = inst("R(a, b)")
+        b = inst("R(u, v). R(v, u)")
+        prod = direct_product(a, b)
+        assert prod.fact_count() == 2
+        assert prod.has_fact(
+            Fact(
+                SCHEMA.relation("R"),
+                ((Const("a"), Const("u")), (Const("b"), Const("v"))),
+            )
+        )
+
+    def test_projections_are_homomorphisms(self):
+        # The proof of Lemma 3.4 uses h_I((a,b)) = a and h_J((a,b)) = b.
+        from repro.homomorphisms import find_homomorphism
+
+        a = inst("R(a, b). S(a)")
+        b = inst("R(u, u). S(u)")
+        prod = direct_product(a, b)
+        left = prod.rename(lambda e: e[0])
+        right = prod.rename(lambda e: e[1])
+        assert left.is_subset_of(a)
+        assert right.is_subset_of(b)
+        assert find_homomorphism(prod, a) is not None
+
+    def test_zero_ary_relation(self):
+        a = Instance.parse("Aux(). S(a)", AUX_SCHEMA)
+        b = Instance.parse("S(u)", AUX_SCHEMA)
+        prod = direct_product(a, b)
+        assert prod.tuples("Aux") == frozenset()  # b lacks Aux
+        both = direct_product(a, a)
+        assert both.tuples("Aux") == frozenset({()})
+
+    def test_many_matches_binary_shape(self):
+        a = inst("R(a, b)")
+        b = inst("R(u, v)")
+        c = inst("R(p, q)")
+        prod = direct_product_many([a, b, c])
+        assert prod.fact_count() == 1
+        (fact,) = prod.facts()
+        assert fact.elements == (
+            (Const("a"), Const("u"), Const("p")),
+            (Const("b"), Const("v"), Const("q")),
+        )
+
+    def test_many_empty_list_rejected(self):
+        with pytest.raises(InstanceError):
+            direct_product_many([])
+
+    def test_product_with_empty_is_empty(self):
+        a = inst("S(a)")
+        prod = direct_product(a, Instance.empty(SCHEMA))
+        assert prod.is_empty() and len(prod.domain) == 0
+
+
+class TestIntersectionUnion:
+    def test_intersection_pointwise(self):
+        a = inst("S(a). S(b). R(a, b)")
+        b = inst("S(b). R(a, b). R(b, a)")
+        both = intersection(a, b)
+        assert both.fact_count() == 2
+        assert both.domain == {Const("a"), Const("b")}
+
+    def test_intersection_domains_intersect(self):
+        a = inst("S(a)")
+        b = inst("S(b)")
+        assert intersection(a, b).domain == frozenset()
+
+    def test_union_pointwise(self):
+        a = inst("S(a)")
+        b = inst("S(b)")
+        assert union(a, b).fact_count() == 2
+
+    def test_union_shares_constants(self):
+        a = inst("S(a)")
+        assert union(a, a) == a
+
+    def test_disjoint_union_renames(self):
+        a = inst("S(a)")
+        d = disjoint_union(a, a)
+        assert d.fact_count() == 2
+        assert len(d.domain) == 2
+
+    def test_rename_apart_is_isomorphic(self):
+        from repro.homomorphisms import are_isomorphic
+
+        a = inst("R(a, b). S(a)")
+        copy = rename_apart(a, a.domain)
+        assert are_isomorphic(a, copy)
+        assert not (set(copy.domain) & set(a.domain))
+
+    def test_rename_apart_only_renames_overlap(self):
+        a = inst("S(a). S(b)")
+        copy = rename_apart(a, {Const("a")})
+        assert Const("b") in copy.domain
+        assert Const("a") not in copy.domain

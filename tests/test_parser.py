@@ -1,0 +1,126 @@
+"""Unit tests for the rule/instance text format."""
+
+import pytest
+
+from repro.dependencies import EDD, EGD, TGD
+from repro.lang import (
+    ParseError,
+    Schema,
+    Var,
+    parse_atom,
+    parse_atoms,
+    parse_dependency,
+    parse_edd,
+    parse_egd,
+    parse_fact,
+    parse_facts,
+    parse_tgd,
+    parse_tgds,
+)
+from repro.lang.schema import SchemaError
+
+
+class TestAtomsAndFacts:
+    def test_parse_atom_variables(self):
+        atom = parse_atom("R(x, y)")
+        assert atom.variables() == (Var("x"), Var("y"))
+
+    def test_parse_atoms_empty(self):
+        assert parse_atoms("  ") == ()
+
+    def test_parse_fact_constants(self):
+        fact = parse_fact("R(a, b)")
+        assert all(c.name in ("a", "b") for c in fact.elements)
+
+    def test_parse_facts_multiple_separators(self):
+        facts = parse_facts("R(a, b). S(b); T(c)\nU(d)")
+        assert len(facts) == 4
+
+    def test_schema_checked_when_given(self):
+        schema = Schema.of(("R", 2))
+        with pytest.raises(SchemaError):
+            parse_atom("R(x)", schema)
+
+    def test_schema_inferred_when_absent(self):
+        assert parse_atom("R(x, y, z)").relation.arity == 3
+
+    def test_malformed_atom_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x")
+
+    def test_malformed_argument_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x y)")
+
+
+class TestTgdParsing:
+    def test_full_tgd(self):
+        tgd = parse_tgd("R(x, y), S(y, z) -> T(x, z)")
+        assert isinstance(tgd, TGD)
+        assert tgd.is_full
+        assert len(tgd.body) == 2
+
+    def test_existentials_implicit(self):
+        tgd = parse_tgd("R(x, y) -> R(y, z)")
+        assert tgd.existential_variables == (Var("z"),)
+
+    def test_existentials_explicit_and_validated(self):
+        tgd = parse_tgd("R(x, y) -> exists z . R(y, z)")
+        assert tgd.existential_variables == (Var("z"),)
+
+    def test_wrong_exists_declaration_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tgd("R(x, y) -> exists q . R(y, z)")
+
+    def test_empty_body(self):
+        tgd = parse_tgd("-> exists z . Start(z)")
+        assert tgd.body == ()
+        assert tgd.width == (0, 1)
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tgd("R(x, y)")
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(Exception):
+            parse_tgd("R(x, y) -> ")
+
+    def test_parse_tgds_multiline_with_comments(self):
+        tgds = parse_tgds(
+            """
+            # typing rules
+            R(x, y) -> S(x)   # head comment
+            S(x) -> T(x)
+            """
+        )
+        assert len(tgds) == 2
+
+    def test_not_a_tgd_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tgd("R(x, y) -> x = y")
+
+
+class TestEgdAndEddParsing:
+    def test_egd(self):
+        egd = parse_egd("E(x, y), E(x, z) -> y = z")
+        assert isinstance(egd, EGD)
+        assert egd.lhs == Var("y") and egd.rhs == Var("z")
+
+    def test_edd_mixed_disjuncts(self):
+        edd = parse_edd("P(x, y) -> x = y | exists z . R(x, z)")
+        assert isinstance(edd, EDD)
+        assert len(edd.disjuncts) == 2
+
+    def test_single_disjunct_promotes_to_tgd(self):
+        dep = parse_dependency("P(x) -> Q(x)")
+        assert isinstance(dep, TGD)
+
+    def test_parse_edd_wraps_tgd(self):
+        edd = parse_edd("P(x) -> Q(x)")
+        assert isinstance(edd, EDD) and edd.is_tgd
+
+    def test_roundtrip_display_reparses(self):
+        tgd = parse_tgd("R(x, y) -> exists z . R(y, z), S(z, z)")
+        again = parse_tgd(str(tgd))
+        assert again.width == tgd.width
+        assert len(again.head) == len(tgd.head)

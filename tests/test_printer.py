@@ -1,0 +1,50 @@
+"""Unit tests for the pretty-printers."""
+
+from repro import Instance, Schema, parse_tgds
+from repro.lang import Const, format_dependencies, format_instance, format_table
+
+SCHEMA = Schema.of(("R", 2), ("S", 1))
+
+
+class TestFormatDependencies:
+    def test_numbered_lines(self):
+        text = format_dependencies(
+            parse_tgds("R(x, y) -> S(x)\nS(x) -> R(x, x)", SCHEMA)
+        )
+        assert "1. R(x, y) -> S(x)" in text
+        assert "2. S(x) -> R(x, x)" in text
+
+    def test_empty_set(self):
+        assert "(empty set)" in format_dependencies(())
+
+
+class TestFormatInstance:
+    def test_relations_grouped(self):
+        instance = Instance.parse("R(a, b). S(a). S(b)", SCHEMA)
+        text = format_instance(instance)
+        assert "R: (a, b)" in text
+        assert "S: (a), (b)" in text
+
+    def test_inactive_elements_reported(self):
+        instance = Instance.parse("S(a)", SCHEMA).with_domain(
+            {Const("a"), Const("ghost")}
+        )
+        assert "ghost" in format_instance(instance)
+
+    def test_empty_instance(self):
+        assert "(empty instance)" in format_instance(Instance.empty(SCHEMA))
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "count"], [["alpha", 1], ["b", 22]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) >= len("alpha  22") for line in lines[2:])
+
+    def test_empty_rows(self):
+        table = format_table(["only", "headers"], [])
+        assert "only" in table

@@ -1,0 +1,227 @@
+"""Unit tests for criticality, ⊗-closure, modularity, and closures
+(Sections 3 and 5)."""
+
+import pytest
+
+from repro import AxiomaticOntology, FiniteOntology, Instance, Schema, parse_tgds
+from repro.instances import all_instances_up_to, critical_instance
+from repro.properties import (
+    criticality_report,
+    disjoint_union_closure_report,
+    domain_independence_report,
+    duplicating_extension_closure_report,
+    intersection_closure_report,
+    is_k_critical,
+    is_n_modular_for,
+    modularity_report,
+    product_closure_report,
+    small_refutation,
+    subinstance_closure_report,
+    union_closure_report,
+)
+
+SCHEMA = Schema.of(("R", 1), ("S", 1))
+UNARY3 = Schema.of(("R", 1), ("P", 1), ("T", 1))
+
+
+def axiomatic(text: str, schema=SCHEMA) -> AxiomaticOntology:
+    return AxiomaticOntology(parse_tgds(text, schema), schema=schema)
+
+
+class TestCriticality:
+    def test_tgd_ontology_is_critical(self):
+        # Lemma 3.2 on a concrete ontology.
+        ontology = axiomatic("R(x) -> S(x)")
+        report = criticality_report(ontology, max_k=4)
+        assert report.holds
+
+    def test_existential_tgds_also_critical(self):
+        schema = Schema.of(("R", 2), ("S", 1))
+        ontology = AxiomaticOntology(
+            parse_tgds("S(x) -> exists z . R(x, z)", schema), schema=schema
+        )
+        assert criticality_report(ontology, max_k=3).holds
+
+    def test_non_critical_ontology_detected(self):
+        # The class of instances where S is empty is not 1-critical.
+        crit_free = FiniteOntology(
+            [Instance.parse("R(a)", SCHEMA), Instance.empty(SCHEMA)]
+        )
+        report = criticality_report(crit_free, max_k=2)
+        assert not report.holds
+        assert report.counterexample is not None
+
+    def test_is_k_critical_exact(self):
+        ontology = axiomatic("R(x) -> S(x)")
+        assert is_k_critical(ontology, 1)
+        assert is_k_critical(ontology, 3)
+
+
+class TestProductClosure:
+    def test_tgd_ontology_closed(self):
+        # Lemma 3.4 on a concrete ontology, exhaustively over ≤2 elements.
+        ontology = axiomatic("R(x) -> S(x)")
+        assert product_closure_report(ontology, max_domain_size=1).holds
+
+    def test_disjunctive_class_not_closed(self):
+        # O = "R empty or S empty" is not product-closed... actually it is;
+        # use "R non-empty" instead: I, J with R non-empty have product with
+        # R non-empty — also closed.  A genuinely non-closed class:
+        # "exactly one element in R".  Products double it.
+        seeds = [
+            Instance.parse("R(a)", SCHEMA),
+            Instance.parse("R(a). R(b)", SCHEMA),
+        ]
+        one_or_two = FiniteOntology([seeds[0]])
+        report = product_closure_report(one_or_two, max_domain_size=1)
+        # R(a) x R(a) has domain {(a,a)} and R = {(a,a)} — isomorphic to
+        # the seed, so this class IS closed at size 1; check size 2 with a
+        # two-element seed where the product grows to 4 elements.
+        ontology = FiniteOntology(seeds)
+        report2 = product_closure_report(ontology, max_domain_size=2)
+        assert not report2.holds
+
+    def test_counterexample_structure(self):
+        ontology = FiniteOntology(
+            [
+                Instance.parse("R(a)", SCHEMA),
+                Instance.parse("R(a). R(b)", SCHEMA),
+            ]
+        )
+        report = product_closure_report(ontology, max_domain_size=2)
+        left, right, product = report.counterexample
+        assert ontology.contains(left) and ontology.contains(right)
+        assert not ontology.contains(product)
+
+
+class TestModularity:
+    def test_full_tgds_are_modular(self):
+        ontology = axiomatic("R(x) -> S(x)")
+        space = list(all_instances_up_to(SCHEMA, 2))
+        assert modularity_report(ontology, 1, space).holds
+
+    def test_small_refutation_found(self):
+        ontology = axiomatic("R(x) -> S(x)")
+        bad = Instance.parse("R(a). R(b). S(b)", SCHEMA)
+        witness = small_refutation(ontology, bad, 1)
+        assert witness is not None
+        assert len(witness.domain) <= 1
+        assert not ontology.contains(witness)
+
+    def test_members_trivially_modular(self):
+        ontology = axiomatic("R(x) -> S(x)")
+        assert is_n_modular_for(ontology, Instance.parse("S(a)", SCHEMA), 0)
+
+    def test_existential_ontology_not_0_modular(self):
+        schema = Schema.of(("R", 2), ("S", 1))
+        ontology = AxiomaticOntology(
+            parse_tgds("S(x) -> exists z . R(x, z)", schema), schema=schema
+        )
+        bad = Instance.parse("S(a)", schema)
+        assert not is_n_modular_for(ontology, bad, 0)
+
+
+class TestClosures:
+    def test_full_tgds_intersection_closed(self):
+        ontology = axiomatic("R(x) -> S(x)")
+        assert intersection_closure_report(ontology, max_domain_size=1).holds
+
+    def test_existential_not_intersection_closed(self):
+        schema = Schema.of(("R", 2), ("S", 1))
+        ontology = AxiomaticOntology(
+            parse_tgds("S(x) -> exists z . R(x, z)", schema), schema=schema
+        )
+        report = intersection_closure_report(ontology, max_domain_size=2)
+        assert not report.holds
+
+    def test_linear_union_closed(self):
+        ontology = axiomatic("R(x) -> S(x)")
+        assert union_closure_report(ontology, max_domain_size=1).holds
+
+    def test_guarded_not_union_closed(self):
+        # Σ_G = R(x), P(x) -> T(x): {R(c)} and {P(c)} are models, their
+        # union is not (cf. the Theorem 9.1 lower-bound argument).
+        ontology = axiomatic("R(x), P(x) -> T(x)", UNARY3)
+        report = union_closure_report(ontology, max_domain_size=1)
+        assert not report.holds
+
+    def test_guarded_disjoint_union_closed(self):
+        ontology = axiomatic("R(x), P(x) -> T(x)", UNARY3)
+        assert disjoint_union_closure_report(
+            ontology, max_domain_size=1
+        ).holds
+
+    def test_frontier_guarded_not_disjoint_union_closed(self):
+        # Σ_F = R(x), P(y) -> T(x): {R(c)} ⊎ {P(d)} violates it
+        # (cf. the Theorem 9.2 lower-bound argument).
+        ontology = axiomatic("R(x), P(y) -> T(x)", UNARY3)
+        report = disjoint_union_closure_report(ontology, max_domain_size=1)
+        assert not report.holds
+
+    def test_full_tgds_subinstance_closed(self):
+        ontology = axiomatic("R(x) -> S(x)")
+        assert subinstance_closure_report(ontology, max_domain_size=2).holds
+
+    def test_existential_not_subinstance_closed(self):
+        schema = Schema.of(("R", 2), ("S", 1))
+        ontology = AxiomaticOntology(
+            parse_tgds("S(x) -> exists z . R(x, z)", schema), schema=schema
+        )
+        assert not subinstance_closure_report(
+            ontology, max_domain_size=2
+        ).holds
+
+
+class TestDuplicatingExtensionClosure:
+    def test_example_5_2_refutes_oblivious_closure(self):
+        # The headline of Section 5: full-tgd ontologies are NOT closed
+        # under Makowsky–Vardi duplicating extensions...
+        schema = Schema.of(("R", 2), ("S", 2), ("T", 2))
+        ontology = AxiomaticOntology(
+            parse_tgds("R(x, y), S(y, z) -> T(x, z)", schema), schema=schema
+        )
+        report = duplicating_extension_closure_report(
+            ontology, max_domain_size=2, oblivious=True
+        )
+        assert not report.holds
+
+    def test_non_oblivious_closure_holds(self):
+        # ...but they ARE closed under the corrected notion (Thm 5.6 (1)⇒(2)).
+        schema = Schema.of(("R", 2), ("S", 2), ("T", 2))
+        ontology = AxiomaticOntology(
+            parse_tgds("R(x, y), S(y, z) -> T(x, z)", schema), schema=schema
+        )
+        report = duplicating_extension_closure_report(
+            ontology, max_domain_size=2, oblivious=False
+        )
+        assert report.holds
+
+
+class TestDomainIndependence:
+    def test_tgd_ontologies_domain_independent(self):
+        # Lemma 3.8 via locality; checked directly here.
+        ontology = axiomatic("R(x) -> S(x)")
+        space = list(all_instances_up_to(SCHEMA, 2))
+        assert domain_independence_report(ontology, space).holds
+
+    def test_domain_sensitive_class_detected(self):
+        class DomainCounting(FiniteOntology):
+            def contains(self, instance):
+                return len(instance.domain) <= 1
+
+        ontology = DomainCounting([], schema=SCHEMA)
+        space = list(all_instances_up_to(SCHEMA, 1))
+        report = domain_independence_report(ontology, space)
+        assert not report.holds
+
+
+class TestReportDisplay:
+    def test_passing_report_str(self):
+        ontology = axiomatic("R(x) -> S(x)")
+        text = str(criticality_report(ontology, max_k=2))
+        assert "criticality" in text and "holds" in text
+
+    def test_failing_report_str_shows_counterexample(self):
+        ontology = FiniteOntology([Instance.empty(SCHEMA)])
+        text = str(criticality_report(ontology, max_k=1))
+        assert "FAILS" in text

@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) for the core data structures and the
+paper's universally quantified lemmas."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Instance,
+    Schema,
+    TGDClass,
+    chase,
+    critical_instance,
+    direct_product,
+    intersection,
+    union,
+)
+from repro.chase import is_weakly_acyclic
+from repro.dependencies import canonical_key, canonicalize
+from repro.homomorphisms import are_isomorphic, find_homomorphism
+from repro.instances import rename_apart
+from repro.lang import Const, Var
+from repro.workloads import random_instance, random_schema, random_tgd, random_tgd_set
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+SCHEMA = Schema.of(("R", 2), ("S", 1))
+
+
+@st.composite
+def instances(draw, schema=SCHEMA, max_size=3):
+    size = draw(st.integers(min_value=0, max_value=max_size))
+    domain = [Const(f"a{i}") for i in range(size)]
+    relations = {}
+    for rel in schema:
+        tuples = set()
+        import itertools
+
+        for tup in itertools.product(domain, repeat=rel.arity):
+            if draw(st.booleans()):
+                tuples.add(tup)
+        relations[rel] = tuples
+    return Instance(schema, domain, relations)
+
+
+@st.composite
+def seeded_rng(draw):
+    return random.Random(draw(st.integers(min_value=0, max_value=2**32)))
+
+
+class TestInstanceAlgebraLaws:
+    @SETTINGS
+    @given(instances(), instances())
+    def test_intersection_commutes(self, a, b):
+        assert intersection(a, b) == intersection(b, a)
+
+    @SETTINGS
+    @given(instances(), instances())
+    def test_union_commutes(self, a, b):
+        assert union(a, b) == union(b, a)
+
+    @SETTINGS
+    @given(instances())
+    def test_intersection_idempotent(self, a):
+        assert intersection(a, a) == a
+
+    @SETTINGS
+    @given(instances(), instances())
+    def test_intersection_is_lower_bound(self, a, b):
+        both = intersection(a, b)
+        assert both.is_subset_of(a) and both.is_subset_of(b)
+
+    @SETTINGS
+    @given(instances(), instances())
+    def test_product_projections_are_homomorphisms(self, a, b):
+        product = direct_product(a, b)
+        assert product.rename(lambda e: e[0]).is_subset_of(a)
+        assert product.rename(lambda e: e[1]).is_subset_of(b)
+
+    @SETTINGS
+    @given(instances(), instances())
+    def test_product_fact_count_multiplies_per_relation(self, a, b):
+        product = direct_product(a, b)
+        for rel in SCHEMA:
+            assert len(product.tuples(rel)) == len(a.tuples(rel)) * len(
+                b.tuples(rel)
+            )
+
+    @SETTINGS
+    @given(instances())
+    def test_rename_apart_isomorphic(self, a):
+        copy = rename_apart(a, a.domain)
+        assert are_isomorphic(a, copy)
+
+    @SETTINGS
+    @given(instances(), instances())
+    def test_hom_composition(self, a, b):
+        # if a -> b and b -> a then they are hom-equivalent; sanity: any
+        # found hom maps facts into facts.
+        hom = find_homomorphism(a, b)
+        if hom is not None:
+            assert a.rename(hom).is_subset_of(b)
+
+
+class TestCanonicalizationLaws:
+    @SETTINGS
+    @given(seeded_rng())
+    def test_canonical_key_invariant_under_renaming(self, rng):
+        schema = random_schema(rng, relations=2, max_arity=2)
+        tgd = random_tgd(rng, schema, body_atoms=2, body_variables=3)
+        permuted = tgd.rename_apart(tgd.variables(), prefix="q")
+        assert canonical_key(tgd) == canonical_key(permuted)
+
+    @SETTINGS
+    @given(seeded_rng())
+    def test_canonicalize_fixpoint(self, rng):
+        schema = random_schema(rng, relations=2, max_arity=2)
+        tgd = random_tgd(rng, schema)
+        canon = canonicalize(tgd)
+        assert canonicalize(canon) == canon
+
+
+class TestPaperLemmasRandomized:
+    @SETTINGS
+    @given(seeded_rng())
+    def test_lemma_3_2_critical_instances_model_everything(self, rng):
+        schema = random_schema(rng, relations=3, max_arity=2)
+        tgds = random_tgd_set(rng, schema, 4)
+        for k in (1, 2, 3):
+            crit = critical_instance(schema, k)
+            assert all(t.satisfied_by(crit) for t in tgds)
+
+    @SETTINGS
+    @given(seeded_rng())
+    def test_lemma_3_4_products_of_models_are_models(self, rng):
+        schema = random_schema(rng, relations=2, max_arity=2)
+        tgds = random_tgd_set(rng, schema, 2, cls=TGDClass.FULL)
+        models = []
+        attempts = 0
+        while len(models) < 2 and attempts < 50:
+            attempts += 1
+            candidate = random_instance(rng, schema, 2, density=0.4)
+            result = chase(candidate, tgds, max_rounds=6)
+            if result.successful:
+                models.append(result.instance)
+        if len(models) == 2:
+            product = direct_product(models[0], models[1])
+            assert all(t.satisfied_by(product) for t in tgds)
+
+    @SETTINGS
+    @given(seeded_rng())
+    def test_chase_soundness_result_models_sigma(self, rng):
+        schema = random_schema(rng, relations=2, max_arity=2)
+        tgds = random_tgd_set(
+            rng, schema, 2, cls=TGDClass.FULL, body_atoms=2
+        )
+        db = random_instance(rng, schema, 2, density=0.4)
+        result = chase(db, tgds, max_rounds=8)
+        if result.successful:
+            assert all(t.satisfied_by(result.instance) for t in tgds)
+            assert db.is_subset_of(result.instance)
+
+    @SETTINGS
+    @given(seeded_rng())
+    def test_weakly_acyclic_chase_terminates(self, rng):
+        schema = random_schema(rng, relations=2, max_arity=2)
+        tgds = random_tgd_set(rng, schema, 3)
+        if is_weakly_acyclic(tgds):
+            db = random_instance(rng, schema, 2, density=0.4)
+            result = chase(db, tgds, max_rounds=200, max_facts=2000)
+            # max_facts is a safety valve: a weakly acyclic chase always
+            # terminates, but may legitimately be large; a non-terminated
+            # result is acceptable only when the fact cap tripped.
+            assert result.terminated or result.instance.fact_count() > 2000
+
+    @SETTINGS
+    @given(seeded_rng())
+    def test_oblivious_chase_contains_restricted_semantics(self, rng):
+        # both chase flavours produce models homomorphically equivalent
+        # over the original constants (universality).
+        schema = random_schema(rng, relations=2, max_arity=2)
+        tgds = random_tgd_set(rng, schema, 2)
+        if not is_weakly_acyclic(tgds):
+            return
+        db = random_instance(rng, schema, 2, density=0.5)
+        # cap facts too: a weakly acyclic oblivious chase terminates but
+        # can be polynomially large on unlucky draws — skip those.
+        restricted = chase(db, tgds, max_rounds=20, max_facts=400)
+        oblivious = chase(
+            db, tgds, variant="oblivious", max_rounds=20, max_facts=400
+        )
+        if restricted.terminated and oblivious.terminated:
+            fixed = {e: e for e in db.domain}
+            assert (
+                find_homomorphism(
+                    restricted.instance, oblivious.instance, fixed
+                )
+                is not None
+            )

@@ -1,0 +1,96 @@
+"""Unit tests for chase provenance."""
+
+import pytest
+
+from repro import Instance, Schema, parse_tgds
+from repro.chase import ChaseError, explain, traced_chase
+from repro.lang import Const, Fact, parse_dependency
+
+SCHEMA = Schema.of(("E", 2), ("P", 1), ("Q", 1))
+
+
+def fact(name: str, *elems: str) -> Fact:
+    return Fact(SCHEMA.relation(name), tuple(Const(e) for e in elems))
+
+
+class TestTracedChase:
+    def test_trace_matches_untraced_result(self):
+        from repro import chase
+
+        rules = parse_tgds("E(x, y) -> P(x)\nP(x) -> Q(x)", SCHEMA)
+        db = Instance.parse("E(a, b). E(b, c)", SCHEMA)
+        plain = chase(db, rules)
+        traced = traced_chase(db, rules)
+        assert traced.instance.facts() == plain.instance.facts()
+        assert traced.result.terminated
+
+    def test_every_conclusion_was_new(self):
+        rules = parse_tgds("E(x, y) -> P(x)\nE(x, y) -> P(y)", SCHEMA)
+        db = Instance.parse("E(a, a)", SCHEMA)
+        traced = traced_chase(db, rules)
+        produced = [f for firing in traced.trace for f in firing.conclusions]
+        assert len(produced) == len(set(produced))
+
+    def test_premises_held_when_fired(self):
+        rules = parse_tgds("E(x, y) -> P(x)\nP(x) -> Q(x)", SCHEMA)
+        db = Instance.parse("E(a, b)", SCHEMA)
+        traced = traced_chase(db, rules)
+        known = set(db.facts())
+        for firing in traced.trace:
+            assert set(firing.premises) <= known
+            known |= set(firing.conclusions)
+
+    def test_nulls_in_trace(self):
+        rules = parse_tgds("P(x) -> exists z . E(x, z)", SCHEMA)
+        db = Instance.parse("P(a)", SCHEMA)
+        traced = traced_chase(db, rules)
+        assert len(traced.trace) == 1
+        (firing,) = traced.trace
+        assert firing.premises == (fact("P", "a"),)
+
+    def test_egds_rejected(self):
+        dep = parse_dependency("E(x, y), E(x, z) -> y = z", SCHEMA)
+        with pytest.raises(ChaseError):
+            traced_chase(Instance.parse("E(a, b)", SCHEMA), [dep])
+
+    def test_denial_failure_traced(self):
+        deps = list(parse_tgds("E(x, y) -> P(x)", SCHEMA)) + [
+            parse_dependency("P(x) -> false", SCHEMA)
+        ]
+        traced = traced_chase(Instance.parse("E(a, b)", SCHEMA), deps)
+        assert traced.result.failed
+        assert traced.trace  # the firing that caused the violation is kept
+
+    def test_producers_lookup(self):
+        rules = parse_tgds("E(x, y) -> P(x)", SCHEMA)
+        traced = traced_chase(Instance.parse("E(a, b)", SCHEMA), rules)
+        assert len(traced.producers(fact("P", "a"))) == 1
+        assert traced.producers(fact("E", "a", "b")) == ()
+
+
+class TestExplain:
+    def test_derivation_chain(self):
+        rules = parse_tgds("E(x, y) -> P(x)\nP(x) -> Q(x)", SCHEMA)
+        traced = traced_chase(Instance.parse("E(a, b)", SCHEMA), rules)
+        lines = explain(traced, fact("Q", "a"))
+        assert len(lines) == 3
+        assert "[database]" in lines[-1]
+        assert "Q(a)" in lines[0]
+
+    def test_database_fact_is_leaf(self):
+        rules = parse_tgds("E(x, y) -> P(x)", SCHEMA)
+        traced = traced_chase(Instance.parse("E(a, b)", SCHEMA), rules)
+        assert explain(traced, fact("E", "a", "b")) == ["E(a, b)  [database]"]
+
+    def test_unknown_fact_rejected(self):
+        rules = parse_tgds("E(x, y) -> P(x)", SCHEMA)
+        traced = traced_chase(Instance.parse("E(a, b)", SCHEMA), rules)
+        with pytest.raises(ValueError):
+            explain(traced, fact("Q", "zzz"))
+
+    def test_depth_cap(self):
+        rel = SCHEMA.relation("E")
+        chain_rules = parse_tgds("E(x, y) -> E(y, x)", SCHEMA)
+        traced = traced_chase(Instance.parse("E(a, b)", SCHEMA), chain_rules)
+        lines = explain(traced, fact("E", "b", "a"), max_depth=0)
+        assert any("..." in line for line in lines)

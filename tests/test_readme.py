@@ -1,0 +1,29 @@
+"""Doc-drift guard: the ```python blocks in README.md must execute.
+
+The blocks form a narrative (later ones reuse earlier definitions), so
+they are executed cumulatively in order — exactly as a reader would.
+An API change that breaks the README breaks the suite.
+"""
+
+import pathlib
+import re
+
+README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_blocks() -> list[str]:
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, re.S)
+
+
+def test_readme_has_python_blocks():
+    assert len(python_blocks()) >= 3
+
+
+def test_readme_blocks_execute_in_order():
+    namespace: dict = {}
+    for index, block in enumerate(python_blocks()):
+        exec(
+            compile(block, f"README.md:block{index}", "exec"),
+            namespace,
+        )

@@ -1,0 +1,129 @@
+"""Unit tests for the Appendix F lower-bound reductions."""
+
+import pytest
+
+from repro import Schema, TGDClass, parse_tgds
+from repro.dependencies import all_in_class
+from repro.entailment import BCQ, certain_answer, equivalent
+from repro.instances import Instance
+from repro.lang import parse_atoms
+from repro.reductions import (
+    expected_guarded_rewriting,
+    expected_linear_rewriting,
+    reduce_fgtgd_atomic_qa_to_guarded_rewrite,
+    reduce_gtgd_atomic_qa_to_linear_rewrite,
+)
+from repro.rewriting import (
+    RewriteStatus,
+    frontier_guarded_to_guarded,
+    guarded_to_linear,
+)
+
+SCHEMA = Schema.of(("A", 1), ("Q", 1))
+
+SIGMA_YES = parse_tgds("-> exists z . A(z)\nA(x) -> Q(x)", SCHEMA)
+SIGMA_NO = parse_tgds("A(x) -> Q(x)", SCHEMA)
+
+
+def entails_query(sigma) -> bool:
+    db = Instance.empty(SCHEMA)
+    return certain_answer(
+        db, sigma, BCQ(parse_atoms("Q(x)", SCHEMA))
+    ).is_true
+
+
+class TestConstruction:
+    def test_output_is_guarded(self):
+        red = reduce_gtgd_atomic_qa_to_linear_rewrite(
+            SIGMA_YES, SCHEMA.relation("Q")
+        )
+        assert all_in_class(red.sigma_prime, TGDClass.GUARDED)
+
+    def test_output_is_frontier_guarded(self):
+        red = reduce_fgtgd_atomic_qa_to_guarded_rewrite(
+            SIGMA_YES, SCHEMA.relation("Q")
+        )
+        assert all_in_class(red.sigma_prime, TGDClass.FRONTIER_GUARDED)
+
+    def test_source_included(self):
+        red = reduce_gtgd_atomic_qa_to_linear_rewrite(
+            SIGMA_YES, SCHEMA.relation("Q")
+        )
+        for tgd in SIGMA_YES:
+            assert tgd in red.sigma_prime
+
+    def test_fresh_predicates_avoid_clashes(self):
+        clashing = Schema.of(("Rx", 1), ("Q", 1))
+        sigma = parse_tgds("Rx(x) -> Q(x)", clashing)
+        red = reduce_gtgd_atomic_qa_to_linear_rewrite(
+            sigma, clashing.relation("Q")
+        )
+        assert red.r.name != "Rx"
+
+    def test_non_guarded_input_rejected(self):
+        fg = parse_tgds("A(x), Q(y) -> Q(x)", SCHEMA)
+        with pytest.raises(ValueError):
+            reduce_gtgd_atomic_qa_to_linear_rewrite(fg, SCHEMA.relation("Q"))
+
+    def test_zero_ary_aux_in_schema(self):
+        red = reduce_gtgd_atomic_qa_to_linear_rewrite(
+            SIGMA_YES, SCHEMA.relation("Q")
+        )
+        assert red.schema.relation("Aux").arity == 0
+
+
+class TestCorrectness:
+    """Σ ⊨ ∃x Q(x) iff Σ' is rewritable — both directions, both reductions."""
+
+    def test_query_entailment_status(self):
+        assert entails_query(SIGMA_YES)
+        assert not entails_query(SIGMA_NO)
+
+    def test_yes_instance_expected_rewriting_equivalent(self):
+        red = reduce_gtgd_atomic_qa_to_linear_rewrite(
+            SIGMA_YES, SCHEMA.relation("Q")
+        )
+        expected = expected_linear_rewriting(red)
+        assert all_in_class(expected, TGDClass.LINEAR)
+        assert equivalent(red.sigma_prime, expected).is_true
+
+    def test_no_instance_expected_rewriting_not_equivalent(self):
+        red = reduce_gtgd_atomic_qa_to_linear_rewrite(
+            SIGMA_NO, SCHEMA.relation("Q")
+        )
+        expected = expected_linear_rewriting(red)
+        assert equivalent(red.sigma_prime, expected).is_false
+
+    def test_algorithm_1_decides_yes(self):
+        red = reduce_gtgd_atomic_qa_to_linear_rewrite(
+            SIGMA_YES, SCHEMA.relation("Q")
+        )
+        result = guarded_to_linear(red.sigma_prime, schema=red.schema)
+        assert result.status == RewriteStatus.SUCCESS
+
+    def test_algorithm_1_decides_no(self):
+        red = reduce_gtgd_atomic_qa_to_linear_rewrite(
+            SIGMA_NO, SCHEMA.relation("Q")
+        )
+        result = guarded_to_linear(red.sigma_prime, schema=red.schema)
+        assert result.status == RewriteStatus.FAILURE
+
+    def test_algorithm_2_decides_yes(self):
+        red = reduce_fgtgd_atomic_qa_to_guarded_rewrite(
+            SIGMA_YES, SCHEMA.relation("Q")
+        )
+        result = frontier_guarded_to_guarded(
+            red.sigma_prime, schema=red.schema, max_extra_body_atoms=1
+        )
+        assert result.status == RewriteStatus.SUCCESS
+        expected = expected_guarded_rewriting(red)
+        assert equivalent(result.rewriting, expected).is_true
+
+    def test_algorithm_2_decides_no(self):
+        red = reduce_fgtgd_atomic_qa_to_guarded_rewrite(
+            SIGMA_NO, SCHEMA.relation("Q")
+        )
+        result = frontier_guarded_to_guarded(
+            red.sigma_prime, schema=red.schema, max_extra_body_atoms=1
+        )
+        assert result.status == RewriteStatus.FAILURE

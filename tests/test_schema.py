@@ -1,0 +1,90 @@
+"""Unit tests for repro.lang.schema."""
+
+import pytest
+
+from repro.lang.schema import Relation, Schema, SchemaError
+
+
+class TestRelation:
+    def test_arity_must_be_nonnegative(self):
+        with pytest.raises(SchemaError):
+            Relation("R", -1)
+
+    def test_zero_arity_allowed(self):
+        # The Appendix F reductions use a 0-ary Aux predicate.
+        assert Relation("Aux", 0).arity == 0
+
+    def test_name_required(self):
+        with pytest.raises(SchemaError):
+            Relation("", 1)
+
+    def test_display(self):
+        assert str(Relation("R", 2)) == "R/2"
+
+
+class TestSchema:
+    def test_of_and_lookup(self):
+        schema = Schema.of(("R", 2), ("S", 1))
+        assert schema.relation("R") == Relation("R", 2)
+        assert len(schema) == 2
+
+    def test_parse(self):
+        schema = Schema.parse("R/2, S/1 T/3")
+        assert schema.relation("T").arity == 3
+
+    def test_parse_rejects_missing_arity(self):
+        with pytest.raises(SchemaError):
+            Schema.parse("R")
+
+    def test_conflicting_arities_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Relation("R", 1), Relation("R", 2)])
+
+    def test_duplicates_collapse(self):
+        schema = Schema([Relation("R", 1), Relation("R", 1)])
+        assert len(schema) == 1
+
+    def test_iteration_is_sorted(self):
+        schema = Schema.of(("Z", 1), ("A", 1), ("M", 1))
+        assert [r.name for r in schema] == ["A", "M", "Z"]
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("R", 1)).relation("S")
+
+    def test_get_returns_none_for_unknown(self):
+        assert Schema.of(("R", 1)).get("S") is None
+
+    def test_max_arity(self):
+        assert Schema.of(("R", 2), ("S", 3)).max_arity == 3
+        assert Schema(()).max_arity == 0
+
+    def test_union(self):
+        left = Schema.of(("R", 1))
+        right = Schema.of(("S", 2))
+        assert len(left.union(right)) == 2
+
+    def test_union_conflict_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("R", 1)).union(Schema.of(("R", 2)))
+
+    def test_contains_relation_and_name(self):
+        schema = Schema.of(("R", 2))
+        assert Relation("R", 2) in schema
+        assert Relation("R", 3) not in schema
+        assert "R" in schema
+        assert "S" not in schema
+
+    def test_subschema_ordering(self):
+        small = Schema.of(("R", 1))
+        big = Schema.of(("R", 1), ("S", 2))
+        assert small <= big
+        assert not big <= small
+
+    def test_equality_and_hash(self):
+        assert Schema.of(("R", 1)) == Schema.of(("R", 1))
+        assert hash(Schema.of(("R", 1))) == hash(Schema.of(("R", 1)))
+
+    def test_extend(self):
+        schema = Schema.of(("R", 1)).extend(("S", 2))
+        assert "S" in schema

@@ -1,0 +1,82 @@
+"""Unit tests for repro.lang.terms."""
+
+import pytest
+
+from repro.lang.terms import (
+    Const,
+    FreshConsts,
+    FreshNulls,
+    FreshVars,
+    Null,
+    Var,
+    element_sort_key,
+    term_sort_key,
+)
+
+
+class TestTermIdentity:
+    def test_const_equality_by_name(self):
+        assert Const("a") == Const("a")
+        assert Const("a") != Const("b")
+
+    def test_var_equality_by_name(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_null_equality_by_index(self):
+        assert Null(3) == Null(3)
+        assert Null(3) != Null(4)
+
+    def test_kinds_are_disjoint(self):
+        assert Const("x") != Var("x")
+        assert Const("3") != Null(3)
+
+    def test_hashable(self):
+        assert len({Const("a"), Const("a"), Var("a"), Null(0)}) == 3
+
+    def test_display(self):
+        assert str(Const("a")) == "a"
+        assert str(Var("x")) == "?x"
+        assert str(Null(7)) == "_N7"
+
+
+class TestOrdering:
+    def test_consts_order_by_name(self):
+        assert Const("a") < Const("b")
+
+    def test_nulls_order_by_index(self):
+        assert Null(1) < Null(2)
+
+    def test_sort_key_is_total_across_kinds(self):
+        mixed = [Var("x"), Null(0), Const("z"), (Const("a"), Const("b"))]
+        ordered = sorted(mixed, key=term_sort_key)
+        assert ordered[0] == Const("z")  # constants sort first
+        assert ordered[-1] == (Const("a"), Const("b"))  # tuples last
+
+    def test_element_sort_key_alias(self):
+        assert element_sort_key(Const("a")) == term_sort_key(Const("a"))
+
+    def test_nested_tuple_keys(self):
+        inner = (Const("a"), Null(1))
+        assert term_sort_key((inner,)) < term_sort_key(((Const("b"), Null(0)),))
+
+
+class TestFactories:
+    def test_fresh_vars_avoid_collisions(self):
+        factory = FreshVars(avoid=iter([Var("z0"), Var("z2")]))
+        produced = factory.take(3)
+        assert Var("z0") not in produced
+        assert Var("z2") not in produced
+        assert len(set(produced)) == 3
+
+    def test_fresh_nulls_are_monotone(self):
+        factory = FreshNulls(start=5)
+        a, b = factory(), factory()
+        assert a.index == 5 and b.index == 6
+
+    def test_fresh_consts_avoid_collisions(self):
+        factory = FreshConsts(avoid=iter([Const("@c0")]))
+        assert factory() == Const("@c1")
+
+    def test_take_returns_requested_count(self):
+        assert len(FreshConsts().take(4)) == 4
