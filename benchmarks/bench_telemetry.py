@@ -1,0 +1,107 @@
+"""Telemetry overhead bench — holds `repro.telemetry` to its contract:
+the disabled path costs at most one attribute lookup per event, and an
+instrumented engine with telemetry off stays within noise of the seed.
+
+Run with ``REPRO_BENCH_COUNTERS=0`` to measure the true no-op path
+(the autouse conftest fixture otherwise enables counters around every
+benchmark, which is exactly what these benches want to quantify)."""
+
+import pytest
+
+from conftest import record
+
+from repro import Instance, Schema, chase, parse_tgds
+from repro.telemetry import TELEMETRY, MemorySink, span
+
+N_EVENTS = 10_000
+
+SCHEMA = Schema.of(("E", 2), ("P", 1))
+TRANSITIVITY = parse_tgds("E(x, y), E(y, z) -> E(x, z)", SCHEMA)
+
+
+def guarded_counts() -> int:
+    """The exact pattern engine hot paths use."""
+    fired = 0
+    for _ in range(N_EVENTS):
+        if TELEMETRY.enabled:
+            TELEMETRY.count("bench.event")
+        fired += 1
+    return fired
+
+
+def noop_spans() -> int:
+    opened = 0
+    for _ in range(N_EVENTS // 10):
+        with span("bench.region", index=opened):
+            opened += 1
+    return opened
+
+
+def test_disabled_count_guard(benchmark):
+    """The guard alone: one attribute lookup per event when disabled."""
+    was_enabled = TELEMETRY.enabled
+    TELEMETRY.disable()
+    try:
+        assert benchmark(guarded_counts) == N_EVENTS
+    finally:
+        if was_enabled:
+            TELEMETRY.enable(spans=False)
+    record("telemetry disabled guard", "≈0 cost", f"{N_EVENTS} events")
+
+
+def test_disabled_span_is_noop(benchmark):
+    was_enabled = TELEMETRY.enabled
+    TELEMETRY.disable()
+    try:
+        assert benchmark(noop_spans) == N_EVENTS // 10
+    finally:
+        if was_enabled:
+            TELEMETRY.enable(spans=False)
+
+
+def test_enabled_count(benchmark):
+    """The locked increment, for comparison against the guard."""
+    TELEMETRY.reset()
+    TELEMETRY.enable(spans=False)
+    try:
+        assert benchmark(guarded_counts) == N_EVENTS
+    finally:
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+
+
+def test_enabled_span_tree(benchmark):
+    sink = MemorySink()
+    TELEMETRY.enable(sink, spans=True)
+    try:
+        assert benchmark(noop_spans) == N_EVENTS // 10
+    finally:
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+    assert sink.spans  # spans actually recorded
+
+
+@pytest.mark.parametrize("mode", ["disabled", "counters", "full"])
+def test_chase_overhead_by_mode(benchmark, mode):
+    """The instrumented chase under each telemetry mode — `disabled`
+    is the number the <3%-vs-seed acceptance bound watches."""
+    rel = SCHEMA.relation("E")
+    from repro.lang import Const, Fact
+
+    db = Instance.from_facts(
+        SCHEMA,
+        [Fact(rel, (Const(f"v{i}"), Const(f"v{i + 1}"))) for i in range(8)],
+    )
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+    if mode == "counters":
+        TELEMETRY.enable(spans=False)
+    elif mode == "full":
+        TELEMETRY.enable(MemorySink(), spans=True)
+    try:
+        result = benchmark(chase, db, TRANSITIVITY)
+    finally:
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+    assert result.successful
+    assert len(result.instance.tuples("E")) == 8 * 9 // 2

@@ -20,7 +20,7 @@ See ``examples/`` for end-to-end walkthroughs and ``DESIGN.md`` for the
 paper-to-module map.
 """
 
-from .chase import ChaseResult, chase, is_weakly_acyclic
+from .chase import ChaseResult, StopReason, chase, is_weakly_acyclic
 from .dependencies import (
     EDD,
     EGD,
@@ -83,7 +83,7 @@ from .synthesis import synthesize_full_tgds, synthesize_tgds
 __version__ = "1.0.0"
 
 __all__ = [
-    "ChaseResult", "chase", "is_weakly_acyclic",
+    "ChaseResult", "StopReason", "chase", "is_weakly_acyclic",
     "EDD", "EGD", "TGD", "DenialConstraint", "DependencyError", "EqualityDisjunct",
     "ExistentialDisjunct", "TGDClass", "canonicalize", "classify",
     "enumerate_guarded_tgds", "enumerate_linear_tgds", "enumerate_tgds",

@@ -21,8 +21,8 @@ termination guarantee.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence, Union
 
 from ..dependencies.denial import DenialConstraint
 from ..dependencies.egd import EGD
@@ -31,8 +31,9 @@ from ..homomorphisms.search import all_extensions_of, find_extension, satisfies_
 from ..instances.instance import Instance
 from ..lang.schema import Relation, Schema
 from ..lang.terms import FreshNulls, Null, Var, element_sort_key
+from ..telemetry import TELEMETRY, MetricsProbe, span
 
-__all__ = ["ChaseResult", "ChaseError", "chase"]
+__all__ = ["ChaseResult", "ChaseError", "StopReason", "chase"]
 
 Dependency = Union[TGD, EGD, DenialConstraint]
 
@@ -41,13 +42,35 @@ class ChaseError(ValueError):
     """Raised on invalid chase configuration."""
 
 
+class StopReason:
+    """Why a chase run stopped (``ChaseResult.stop_reason``)."""
+
+    FIXPOINT = "fixpoint"
+    ROUND_BUDGET = "round_budget"
+    FACT_BUDGET = "fact_budget"
+    EGD_FAILURE = "egd_failure"
+    DENIAL_VIOLATION = "denial_violation"
+
+    ALL = (FIXPOINT, ROUND_BUDGET, FACT_BUDGET, EGD_FAILURE,
+           DENIAL_VIOLATION)
+
+
 @dataclass(frozen=True)
 class ChaseResult:
     """The outcome of a chase run.
 
     ``terminated`` — a fixpoint was reached within the budget.
-    ``failed`` — an egd required two distinct constants to be equal.
-    When ``failed`` is true, ``instance`` is the state at failure time.
+    ``failed`` — an egd required two distinct constants to be equal, or
+    a denial constraint fired.  When ``failed`` is true, ``instance`` is
+    the state at failure time.
+
+    ``stop_reason`` makes the cause explicit (the bare flags cannot
+    separate "round budget" from "fact budget", nor an egd clash from a
+    denial violation): one of :class:`StopReason`'s values.
+
+    ``metrics`` is the counter delta observed during this run when
+    telemetry was enabled (``{}`` otherwise) — e.g.
+    ``{"chase.triggers_fired": 12, "hom.backtracks": 90}``.
     """
 
     instance: Instance
@@ -56,6 +79,20 @@ class ChaseResult:
     rounds: int
     fired: int
     nulls_created: int
+    stop_reason: str = ""
+    metrics: Mapping[str, int] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self):
+        if not self.stop_reason:
+            # Best-effort inference for constructions that predate
+            # stop_reason; budget kinds are not distinguishable here.
+            if self.failed:
+                inferred = StopReason.EGD_FAILURE
+            elif self.terminated:
+                inferred = StopReason.FIXPOINT
+            else:
+                inferred = StopReason.ROUND_BUDGET
+            object.__setattr__(self, "stop_reason", inferred)
 
     @property
     def successful(self) -> bool:
@@ -155,6 +192,8 @@ def _chase_egd(
         else:
             keep, drop = sorted((left, right), key=element_sort_key)
             state.merge(keep, drop)
+        if TELEMETRY.enabled:
+            TELEMETRY.count("chase.egd_merges")
         changed = True
 
 
@@ -189,59 +228,93 @@ def chase(
     nulls_created = 0
     rounds = 0
     oblivious_done: set[tuple] = set()
+    probe = MetricsProbe()
 
-    while True:
-        if max_rounds is not None and rounds >= max_rounds:
+    with span("chase", variant=variant, dependencies=len(deps)) as sp:
+
+        def finish(
+            terminated: bool, failed: bool, reason: str
+        ) -> ChaseResult:
+            if TELEMETRY.enabled:
+                TELEMETRY.count("chase.runs")
+                if reason in (
+                    StopReason.ROUND_BUDGET, StopReason.FACT_BUDGET
+                ):
+                    TELEMETRY.count("chase.budget_exhausted")
+            sp.set(stop_reason=reason, rounds=rounds, fired=fired)
             return ChaseResult(
-                state.snapshot(), False, False, rounds, fired, nulls_created
+                state.snapshot(), terminated, failed, rounds, fired,
+                nulls_created, stop_reason=reason, metrics=probe.delta(),
             )
-        rounds += 1
-        progressed = False
-        for index, dep in enumerate(deps):
-            if isinstance(dep, DenialConstraint):
-                if find_extension(dep.body, state.snapshot()) is not None:
-                    return ChaseResult(
-                        state.snapshot(), True, True, rounds, fired,
-                        nulls_created,
-                    )
-                continue
-            if isinstance(dep, EGD):
-                changed, egd_failed = _chase_egd(state, dep)
-                progressed = progressed or changed
-                if egd_failed:
-                    return ChaseResult(
-                        state.snapshot(), True, True, rounds, fired,
-                        nulls_created,
-                    )
-                continue
-            snapshot = state.snapshot()
-            triggers = list(all_extensions_of(dep.body, snapshot))
-            for trigger in triggers:
-                if variant == "oblivious":
-                    key = (
-                        index,
-                        tuple(
-                            trigger[v] for v in dep.universal_variables
-                        ),
-                    )
-                    if key in oblivious_done:
+
+        while True:
+            if max_rounds is not None and rounds >= max_rounds:
+                return finish(False, False, StopReason.ROUND_BUDGET)
+            rounds += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.count("chase.rounds")
+            with span("chase.round", round=rounds):
+                progressed = False
+                for index, dep in enumerate(deps):
+                    if isinstance(dep, DenialConstraint):
+                        if (
+                            find_extension(dep.body, state.snapshot())
+                            is not None
+                        ):
+                            return finish(
+                                True, True, StopReason.DENIAL_VIOLATION
+                            )
                         continue
-                    oblivious_done.add(key)
-                else:
-                    # Restricted: re-check activity against the live state.
-                    live = state.snapshot()
-                    if satisfies_atoms(dep.head, live, trigger):
+                    if isinstance(dep, EGD):
+                        changed, egd_failed = _chase_egd(state, dep)
+                        progressed = progressed or changed
+                        if egd_failed:
+                            return finish(
+                                True, True, StopReason.EGD_FAILURE
+                            )
                         continue
-                added, created = _fire_tgd(state, dep, trigger, nulls)
-                fired += 1
-                nulls_created += created
-                progressed = progressed or added > 0 or created > 0
-                if max_facts is not None and state.fact_count() > max_facts:
-                    return ChaseResult(
-                        state.snapshot(), False, False, rounds, fired,
-                        nulls_created,
-                    )
-        if not progressed:
-            return ChaseResult(
-                state.snapshot(), True, False, rounds, fired, nulls_created
-            )
+                    snapshot = state.snapshot()
+                    triggers = list(all_extensions_of(dep.body, snapshot))
+                    for trigger in triggers:
+                        if variant == "oblivious":
+                            key = (
+                                index,
+                                tuple(
+                                    trigger[v]
+                                    for v in dep.universal_variables
+                                ),
+                            )
+                            if key in oblivious_done:
+                                continue
+                            oblivious_done.add(key)
+                        else:
+                            # Restricted: re-check activity against the
+                            # live state.
+                            live = state.snapshot()
+                            if satisfies_atoms(dep.head, live, trigger):
+                                continue
+                        added, created = _fire_tgd(
+                            state, dep, trigger, nulls
+                        )
+                        fired += 1
+                        nulls_created += created
+                        if TELEMETRY.enabled:
+                            TELEMETRY.count("chase.triggers_fired")
+                            if created:
+                                TELEMETRY.count(
+                                    "chase.nulls_created", created
+                                )
+                            if added:
+                                TELEMETRY.count("chase.facts_added", added)
+                        progressed = (
+                            progressed or added > 0 or created > 0
+                        )
+                        if (
+                            max_facts is not None
+                            and state.fact_count() > max_facts
+                        ):
+                            return finish(
+                                False, False, StopReason.FACT_BUDGET
+                            )
+            if not progressed:
+                return finish(True, False, StopReason.FIXPOINT)

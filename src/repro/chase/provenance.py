@@ -18,7 +18,14 @@ from ..homomorphisms.search import all_extensions_of, satisfies_atoms
 from ..instances.instance import Instance
 from ..lang.atoms import Fact
 from ..lang.terms import FreshNulls, Var
-from .engine import ChaseError, ChaseResult, _State, _combined_schema, _fire_tgd
+from .engine import (
+    ChaseError,
+    ChaseResult,
+    StopReason,
+    _State,
+    _combined_schema,
+    _fire_tgd,
+)
 
 __all__ = ["Firing", "TracedChaseResult", "traced_chase", "explain"]
 
@@ -85,7 +92,7 @@ def traced_chase(
             return TracedChaseResult(
                 ChaseResult(
                     state.snapshot(), False, False, rounds, fired,
-                    nulls_created,
+                    nulls_created, stop_reason=StopReason.ROUND_BUDGET,
                 ),
                 tuple(trace),
             )
@@ -99,6 +106,7 @@ def traced_chase(
                         ChaseResult(
                             snapshot, True, True, rounds, fired,
                             nulls_created,
+                            stop_reason=StopReason.DENIAL_VIOLATION,
                         ),
                         tuple(trace),
                     )
@@ -132,7 +140,7 @@ def traced_chase(
             return TracedChaseResult(
                 ChaseResult(
                     state.snapshot(), True, False, rounds, fired,
-                    nulls_created,
+                    nulls_created, stop_reason=StopReason.FIXPOINT,
                 ),
                 tuple(trace),
             )

@@ -11,14 +11,40 @@ Commands:
 * ``query RULES DATA "Q"``      — certain answers of a CQ (chase-based;
   ``--via-rewriting`` switches to UCQ rewriting for linear rules)
 * ``separations``               — re-derive the Section 9.1 separations
+* ``stats TRACE.jsonl``         — summarize a telemetry trace file
 
 ``RULES`` is a file with one dependency per line (``#`` comments);
 ``DATA`` a file of facts like ``R(a, b). S(b)``.
+
+Observability flags (available on every command):
+
+* ``--profile``        — record spans + counters, print a report after
+  the command output (to stderr under ``--quiet``)
+* ``--trace FILE.jsonl`` — stream span events and a final counter record
+  to FILE.jsonl (summarize with ``python -m repro stats FILE.jsonl``)
+* ``--quiet``          — suppress normal stdout for script use; the
+  exit code carries the answer
+* ``--version``        — print the package version and exit
+
+Exit codes:
+
+* ``0`` — success / the definitive answer is positive (``chase``
+  reached a fixpoint without failing, ``rewrite`` succeeded,
+  ``entails`` produced a definitive verdict, ``stats`` parsed the file)
+* ``1`` — definitive negative: the chase failed on a constraint, the
+  rewriting target class is unreachable (⊥ or inconclusive), or the
+  trace file was unreadable/malformed
+* ``2`` — undecided: ``entails`` exhausted its chase budget (UNKNOWN)
+
+argparse itself exits with ``2`` on usage errors and ``0`` for
+``--help`` / ``--version``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import io
 import sys
 from pathlib import Path
 
@@ -59,6 +85,14 @@ from .rewriting import (
     guarded_vs_frontier_guarded_witness,
     verify_separation,
 )
+from .telemetry import (
+    TELEMETRY,
+    JSONLSink,
+    MemorySink,
+    render_report,
+    summarize_jsonl,
+)
+from . import __version__
 
 __all__ = ["main"]
 
@@ -210,30 +244,57 @@ def _cmd_separations(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    try:
+        print(summarize_jsonl(args.tracefile))
+    except (OSError, ValueError) as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--trace", metavar="FILE.jsonl", default=None,
+        help="write telemetry span/counter events to FILE.jsonl",
+    )
+    common.add_argument(
+        "--profile", action="store_true",
+        help="print a span/counter report after the command",
+    )
+    common.add_argument(
+        "--quiet", action="store_true",
+        help="suppress normal output (exit code carries the answer)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("classify", help="classify the rules of a file")
+    p = sub.add_parser(
+        "classify", parents=[common], help="classify the rules of a file"
+    )
     p.add_argument("rules")
     p.set_defaults(func=_cmd_classify)
 
-    p = sub.add_parser("chase", help="chase a database")
+    p = sub.add_parser("chase", parents=[common], help="chase a database")
     p.add_argument("rules")
     p.add_argument("data")
     p.add_argument("--max-rounds", type=int, default=None)
     p.set_defaults(func=_cmd_chase)
 
-    p = sub.add_parser("entails", help="decide Σ ⊨ σ")
+    p = sub.add_parser("entails", parents=[common], help="decide Σ ⊨ σ")
     p.add_argument("rules")
     p.add_argument("rule")
     p.add_argument("--max-rounds", type=int, default=None)
     p.set_defaults(func=_cmd_entails)
 
-    p = sub.add_parser("rewrite", help="Algorithms 1 / 2")
+    p = sub.add_parser("rewrite", parents=[common], help="Algorithms 1 / 2")
     p.add_argument("rules")
     p.add_argument(
         "--target", choices=("linear", "guarded", "full"), default="linear"
@@ -241,12 +302,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-minimize", action="store_true")
     p.set_defaults(func=_cmd_rewrite)
 
-    p = sub.add_parser("audit", help="model-theoretic property battery")
+    p = sub.add_parser(
+        "audit", parents=[common], help="model-theoretic property battery"
+    )
     p.add_argument("rules")
     p.add_argument("--max-domain", type=int, default=1)
     p.set_defaults(func=_cmd_audit)
 
-    p = sub.add_parser("query", help="certain answers of a CQ")
+    p = sub.add_parser(
+        "query", parents=[common], help="certain answers of a CQ"
+    )
     p.add_argument("rules")
     p.add_argument("data")
     p.add_argument("query")
@@ -254,14 +319,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser(
-        "characterize", help="which tgd classes axiomatize the ontology"
+        "characterize", parents=[common],
+        help="which tgd classes axiomatize the ontology",
     )
     p.add_argument("rules")
     p.add_argument("--max-domain", type=int, default=2)
     p.set_defaults(func=_cmd_characterize)
 
-    p = sub.add_parser("separations", help="re-derive §9.1")
+    p = sub.add_parser(
+        "separations", parents=[common], help="re-derive §9.1"
+    )
     p.set_defaults(func=_cmd_separations)
+
+    p = sub.add_parser(
+        "stats", parents=[common],
+        help="summarize a --trace FILE.jsonl telemetry file",
+    )
+    p.add_argument("tracefile")
+    p.set_defaults(func=_cmd_stats)
 
     return parser
 
@@ -269,7 +344,36 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    quiet = getattr(args, "quiet", False)
+    memory: MemorySink | None = None
+    sinks = []
+    if getattr(args, "profile", False):
+        memory = MemorySink()
+        sinks.append(memory)
+    if getattr(args, "trace", None):
+        try:
+            sinks.append(JSONLSink(args.trace))
+        except OSError as exc:
+            print(f"--trace: {exc}", file=sys.stderr)
+            return 1
+    if sinks:
+        TELEMETRY.reset()
+        TELEMETRY.enable(*sinks)
+    try:
+        if quiet:
+            with contextlib.redirect_stdout(io.StringIO()):
+                code = args.func(args)
+        else:
+            code = args.func(args)
+    finally:
+        if sinks:
+            TELEMETRY.disable()
+    if memory is not None:
+        print(
+            render_report(memory),
+            file=sys.stderr if quiet else sys.stdout,
+        )
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

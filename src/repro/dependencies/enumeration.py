@@ -25,6 +25,7 @@ from typing import Iterable, Iterator, Sequence
 from ..lang.atoms import Atom, atoms_variables
 from ..lang.schema import Schema
 from ..lang.terms import Var
+from ..telemetry import TELEMETRY
 from .canonical import canonical_key
 from .edd import EDD, EqualityDisjunct, ExistentialDisjunct
 from .tgd import TGD
@@ -142,7 +143,11 @@ def _emit_unique(candidates: Iterable[TGD]) -> Iterator[TGD]:
         key = canonical_key(tgd)
         if key not in seen:
             seen.add(key)
+            if TELEMETRY.enabled:
+                TELEMETRY.count("enumeration.candidates")
             yield tgd
+        elif TELEMETRY.enabled:
+            TELEMETRY.count("enumeration.duplicates")
 
 
 def enumerate_linear_tgds(

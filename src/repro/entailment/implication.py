@@ -24,6 +24,7 @@ from ..instances.instance import Instance
 from ..lang.atoms import Atom, atoms_variables
 from ..lang.schema import Relation, Schema
 from ..lang.terms import Const, Null, Var
+from ..telemetry import TELEMETRY, span
 from .bcq import DEFAULT_CHASE_ROUNDS
 from .trivalent import TriBool, tri_all
 
@@ -128,20 +129,30 @@ def entails(
     a negative-looking outcome is reported as ``UNKNOWN``.
     """
     deps = list(dependencies)
-    body, body_vars = _conclusion_parts(conclusion)
-    database, track = _freeze_body(
-        body, body_vars, deps, conclusion.schema
-    )
-    budget = max_rounds
-    if budget is None and not is_weakly_acyclic(deps):
-        budget = DEFAULT_CHASE_ROUNDS
-    result = chase(database, deps, max_rounds=budget)
-    if result.failed:
-        return TriBool.TRUE
-    reps = _representatives(result.instance, track, body_vars)
-    if _conclusion_holds(conclusion, result.instance, reps):
-        return TriBool.TRUE
-    return TriBool.FALSE if result.terminated else TriBool.UNKNOWN
+    with span("entails", conclusion=type(conclusion).__name__) as sp:
+        body, body_vars = _conclusion_parts(conclusion)
+        database, track = _freeze_body(
+            body, body_vars, deps, conclusion.schema
+        )
+        budget = max_rounds
+        if budget is None and not is_weakly_acyclic(deps):
+            budget = DEFAULT_CHASE_ROUNDS
+        result = chase(database, deps, max_rounds=budget)
+        if result.failed:
+            verdict = TriBool.TRUE
+        else:
+            reps = _representatives(result.instance, track, body_vars)
+            if _conclusion_holds(conclusion, result.instance, reps):
+                verdict = TriBool.TRUE
+            elif result.terminated:
+                verdict = TriBool.FALSE
+            else:
+                verdict = TriBool.UNKNOWN
+        if TELEMETRY.enabled:
+            TELEMETRY.count("entailment.calls")
+            TELEMETRY.count(f"entailment.{verdict}")
+        sp.set(verdict=str(verdict))
+        return verdict
 
 
 def entails_all(

@@ -25,6 +25,7 @@ from typing import Iterator, Mapping, Sequence
 from ..instances.instance import Instance
 from ..lang.atoms import Atom
 from ..lang.terms import Const, Var, element_sort_key
+from ..telemetry import TELEMETRY
 
 __all__ = [
     "find_extension",
@@ -78,6 +79,8 @@ def _search(
     dynamic_order: bool = True,
 ) -> Iterator[dict[Var, object]]:
     if not atoms:
+        if TELEMETRY.enabled:
+            TELEMETRY.count("hom.matches")
         yield dict(assignment)
         return
     if dynamic_order:
@@ -118,6 +121,9 @@ def _search(
                 yield from _search(
                     rest, target, assignment, injective, dynamic_order
                 )
+        if TELEMETRY.enabled:
+            # One backtrack per candidate tuple explored and undone.
+            TELEMETRY.count("hom.backtracks")
         for var in added:
             del assignment[var]
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..dependencies.classes import TGDClass, all_in_class, in_class, set_width
 from ..dependencies.enumeration import (
@@ -29,6 +29,7 @@ from ..dependencies.enumeration import (
 from ..dependencies.tgd import TGD
 from ..entailment.implication import entails, entails_all
 from ..entailment.trivalent import TriBool
+from ..telemetry import TELEMETRY, MetricsProbe, span
 
 __all__ = [
     "RewriteStatus",
@@ -54,6 +55,10 @@ class RewriteResult:
     ``failure`` (a definitive ⊥ — no equivalent set exists in the target
     class), or ``inconclusive`` (the chase budget left some candidate or
     the final entailment check undecided).
+
+    ``metrics`` is the telemetry counter delta observed during the run
+    when telemetry was enabled (``{}`` otherwise): candidate, entailment,
+    chase, and homomorphism operation counts.
     """
 
     status: str
@@ -65,6 +70,7 @@ class RewriteResult:
     entailed_candidates: int
     unknown_candidates: tuple[TGD, ...]
     elapsed_seconds: float
+    metrics: Mapping[str, int] = field(default_factory=dict, compare=False)
 
     @property
     def succeeded(self) -> bool:
@@ -120,40 +126,61 @@ def _rewrite_with_candidates(
     entailed: list[TGD] = []
     unknown: list[TGD] = []
     considered = 0
-    for candidate in candidates:
-        considered += 1
-        verdict = entails(source, candidate, max_rounds=max_rounds)
-        if verdict.is_true:
-            entailed.append(candidate)
-        elif not verdict.is_definite:
-            unknown.append(candidate)
+    probe = MetricsProbe()
+    with span(
+        "rewrite", target=str(target_class), source_size=len(source)
+    ) as sp:
+        with span("rewrite.search"):
+            for candidate in candidates:
+                considered += 1
+                if TELEMETRY.enabled:
+                    TELEMETRY.count("rewrite.candidates_considered")
+                verdict = entails(source, candidate, max_rounds=max_rounds)
+                if verdict.is_true:
+                    entailed.append(candidate)
+                    if TELEMETRY.enabled:
+                        TELEMETRY.count("rewrite.candidates_entailed")
+                elif not verdict.is_definite:
+                    unknown.append(candidate)
+                    if TELEMETRY.enabled:
+                        TELEMETRY.count("rewrite.candidates_unknown")
 
-    def finish(status: str, rewriting: tuple[TGD, ...] | None) -> RewriteResult:
-        return RewriteResult(
-            status=status,
-            rewriting=rewriting,
-            source=source,
-            target_class=target_class,
-            width=width,
-            candidates_considered=considered,
-            entailed_candidates=len(entailed),
-            unknown_candidates=tuple(unknown),
-            elapsed_seconds=time.perf_counter() - start,
-        )
+        def finish(
+            status: str, rewriting: tuple[TGD, ...] | None
+        ) -> RewriteResult:
+            sp.set(status=status, considered=considered)
+            return RewriteResult(
+                status=status,
+                rewriting=rewriting,
+                source=source,
+                target_class=target_class,
+                width=width,
+                candidates_considered=considered,
+                entailed_candidates=len(entailed),
+                unknown_candidates=tuple(unknown),
+                elapsed_seconds=time.perf_counter() - start,
+                metrics=probe.delta(),
+            )
 
-    if entailed:
-        back = entails_all(entailed, list(source), max_rounds=max_rounds)
-        if back.is_true:
-            rewriting = tuple(entailed)
-            if minimize:
-                rewriting = minimize_tgds(rewriting, max_rounds=max_rounds)
-            return finish(RewriteStatus.SUCCESS, rewriting)
-        if not back.is_definite or unknown:
+        if entailed:
+            with span("rewrite.verify", entailed=len(entailed)):
+                back = entails_all(
+                    entailed, list(source), max_rounds=max_rounds
+                )
+            if back.is_true:
+                rewriting = tuple(entailed)
+                if minimize:
+                    with span("rewrite.minimize"):
+                        rewriting = minimize_tgds(
+                            rewriting, max_rounds=max_rounds
+                        )
+                return finish(RewriteStatus.SUCCESS, rewriting)
+            if not back.is_definite or unknown:
+                return finish(RewriteStatus.INCONCLUSIVE, None)
+            return finish(RewriteStatus.FAILURE, None)
+        if unknown:
             return finish(RewriteStatus.INCONCLUSIVE, None)
         return finish(RewriteStatus.FAILURE, None)
-    if unknown:
-        return finish(RewriteStatus.INCONCLUSIVE, None)
-    return finish(RewriteStatus.FAILURE, None)
 
 
 def guarded_to_linear(

@@ -1,0 +1,98 @@
+"""repro.telemetry — zero-dependency tracing spans, counters, and sinks.
+
+The observability layer behind every engine in this repository: the
+chase, homomorphism search, entailment, candidate enumeration, and the
+rewriting algorithms all report *what they did* (triggers fired, nulls
+created, backtracks, candidates considered, entailment calls) through
+the process-wide :data:`TELEMETRY` singleton, and *where the time went*
+through hierarchical :func:`span`\\ s.
+
+Design rules:
+
+* **Off by default, and nearly free when off.**  Every instrumentation
+  point is guarded by a single attribute lookup
+  (``TELEMETRY.enabled`` for counters, an equivalent check inside
+  :func:`span`); nothing is allocated on the disabled path.
+  ``benchmarks/bench_telemetry.py`` keeps this honest.
+* **Pluggable sinks.**  :class:`MemorySink` collects span trees for the
+  human-readable report (``--profile``); :class:`JSONLSink` streams
+  events to a file (``--trace FILE.jsonl``) that
+  ``python -m repro stats`` summarizes offline.
+* **Exact counters.**  Increments are lock-protected, so concurrent
+  threads never lose counts.
+
+Typical use::
+
+    from repro.telemetry import MemorySink, enable, disable, render_report
+
+    sink = MemorySink()
+    enable(sink)
+    ...  # run chase / rewrite / entailment
+    disable()
+    print(render_report(sink))
+"""
+
+from .core import TELEMETRY, MetricsProbe, TelemetryState, counter_delta
+from .render import render_counters, render_report, render_tree
+from .sinks import JSONLSink, MemorySink, Sink
+from .spans import Span, span
+from .stats import load_events, summarize_events, summarize_jsonl
+
+__all__ = [
+    "TELEMETRY",
+    "TelemetryState",
+    "MetricsProbe",
+    "counter_delta",
+    "Span",
+    "span",
+    "count",
+    "gauge",
+    "enable",
+    "disable",
+    "reset",
+    "enabled",
+    "counter_snapshot",
+    "Sink",
+    "MemorySink",
+    "JSONLSink",
+    "render_tree",
+    "render_counters",
+    "render_report",
+    "load_events",
+    "summarize_events",
+    "summarize_jsonl",
+]
+
+
+def enable(*sinks: Sink, spans: bool = True) -> None:
+    """Start recording (module-level convenience for ``TELEMETRY.enable``)."""
+    TELEMETRY.enable(*sinks, spans=spans)
+
+
+def disable() -> None:
+    """Stop recording and flush counters to the attached sinks."""
+    TELEMETRY.disable()
+
+
+def reset() -> None:
+    """Clear all counters and gauges."""
+    TELEMETRY.reset()
+
+
+def enabled() -> bool:
+    return TELEMETRY.enabled
+
+
+def count(name: str, value: int = 1) -> None:
+    """Increment a named counter (no-op while disabled)."""
+    TELEMETRY.count(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a named gauge (no-op while disabled)."""
+    TELEMETRY.gauge(name, value)
+
+
+def counter_snapshot() -> dict[str, int]:
+    """A copy of the current counter values."""
+    return TELEMETRY.snapshot()

@@ -1,0 +1,84 @@
+"""Human-readable rendering of collected telemetry.
+
+The span tree is rendered *aggregated*: sibling spans with the same name
+collapse into one line carrying a repetition count and summed duration —
+a rewrite run makes thousands of ``entails``/``chase`` spans, and a raw
+dump would be unreadable.  Attributes are shown only for singleton
+lines (they differ across collapsed repetitions).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from .sinks import MemorySink
+from .spans import Span
+
+__all__ = ["render_tree", "render_counters", "render_report", "format_seconds"]
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def _format_attrs(attributes: Mapping[str, object]) -> str:
+    return " ".join(f"{k}={v}" for k, v in attributes.items())
+
+
+def _render_level(
+    spans: Sequence[Span], indent: int, lines: list[str]
+) -> None:
+    groups: dict[str, list[Span]] = {}
+    for sp in spans:
+        groups.setdefault(sp.name, []).append(sp)
+    for name, group in groups.items():
+        total = sum(sp.duration for sp in group)
+        label = name if len(group) == 1 else f"{name} ×{len(group)}"
+        line = f"{'  ' * indent}{label:<{max(44 - 2 * indent, 8)}} {format_seconds(total):>9}"
+        if len(group) == 1 and group[0].attributes:
+            line += "  " + _format_attrs(group[0].attributes)
+        if any(sp.status == "error" for sp in group):
+            line += "  [error]"
+        lines.append(line)
+        children = [child for sp in group for child in sp.children]
+        if children:
+            _render_level(children, indent + 1, lines)
+
+
+def render_tree(roots: Iterable[Span]) -> str:
+    """The aggregated span tree, one line per (level, name) group."""
+    lines: list[str] = []
+    _render_level(list(roots), 0, lines)
+    return "\n".join(lines)
+
+
+def render_counters(
+    counters: Mapping[str, int],
+    gauges: Mapping[str, float] | None = None,
+) -> str:
+    """A sorted ``name  value`` table of counters (and gauges)."""
+    lines = [
+        f"  {name:<42} {value:>12}"
+        for name, value in sorted(counters.items())
+    ]
+    for name, value in sorted((gauges or {}).items()):
+        lines.append(f"  {name:<42} {value:>12g}")
+    return "\n".join(lines)
+
+
+def render_report(sink: MemorySink) -> str:
+    """The full ``--profile`` report: span tree plus counter table."""
+    parts: list[str] = []
+    if sink.roots:
+        parts.append("spans:")
+        parts.append(render_tree(sink.roots))
+    if sink.counters or sink.gauges:
+        parts.append("counters:")
+        parts.append(render_counters(sink.counters, sink.gauges))
+    if not parts:
+        return "telemetry: nothing recorded"
+    return "\n".join(parts)

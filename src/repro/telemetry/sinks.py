@@ -1,0 +1,95 @@
+"""Pluggable telemetry sinks.
+
+* :class:`MemorySink` — keeps closed spans (and the root trees) plus the
+  final counter snapshot in memory; feeds the tree renderer.
+* :class:`JSONLSink` — one JSON object per line: a ``{"type": "span"}``
+  event per closed span (children precede parents) and a final
+  ``{"type": "counters"}`` record at flush time.  The format is what
+  ``python -m repro stats`` consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Mapping
+
+from .spans import Span
+
+__all__ = ["Sink", "MemorySink", "JSONLSink"]
+
+
+class Sink:
+    """Base class: override any subset of the three callbacks."""
+
+    def on_span(self, span: Span) -> None:  # pragma: no cover - interface
+        pass
+
+    def on_counters(
+        self, counters: Mapping[str, int], gauges: Mapping[str, float]
+    ) -> None:  # pragma: no cover - interface
+        pass
+
+    def close(self) -> None:  # pragma: no cover - interface
+        pass
+
+
+class MemorySink(Sink):
+    """Collect everything in memory (the ``--profile`` sink)."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.roots: list[Span] = []
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+
+    def on_span(self, span: Span) -> None:
+        self.spans.append(span)
+        if span.depth == 0:
+            self.roots.append(span)
+
+    def on_counters(
+        self, counters: Mapping[str, int], gauges: Mapping[str, float]
+    ) -> None:
+        self.counters = dict(counters)
+        self.gauges = dict(gauges)
+
+
+class JSONLSink(Sink):
+    """Stream events to a JSONL file (the ``--trace FILE.jsonl`` sink).
+
+    ``target`` is a path or an open text file.  Attribute values that are
+    not JSON-native (e.g. :class:`~repro.dependencies.classes.TGDClass`)
+    are stringified rather than rejected.
+    """
+
+    def __init__(self, target: str | IO[str]):
+        if hasattr(target, "write"):
+            self._file: IO[str] = target  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._file = open(target, "w", encoding="utf-8")
+            self._owns = True
+
+    def _write(self, record: dict[str, Any]) -> None:
+        self._file.write(
+            json.dumps(record, sort_keys=True, default=str) + "\n"
+        )
+
+    def on_span(self, span: Span) -> None:
+        self._write(span.to_event())
+
+    def on_counters(
+        self, counters: Mapping[str, int], gauges: Mapping[str, float]
+    ) -> None:
+        record: dict[str, Any] = {
+            "type": "counters",
+            "counters": dict(counters),
+        }
+        if gauges:
+            record["gauges"] = dict(gauges)
+        self._write(record)
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns:
+            self._file.close()

@@ -1,0 +1,99 @@
+"""Offline analysis of JSONL trace files (``python -m repro stats``).
+
+A trace file (written by :class:`~repro.telemetry.sinks.JSONLSink`)
+interleaves ``span`` events with ``counters`` records; a single file may
+hold several runs' worth of both.  :func:`summarize_jsonl` aggregates
+spans by name (count / total / mean / max) and sums every counter
+record, producing the report the CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+from .render import format_seconds
+
+__all__ = ["load_events", "summarize_events", "summarize_jsonl"]
+
+
+def load_events(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Parse a JSONL trace file, skipping blank lines.
+
+    Raises ``ValueError`` with the offending line number on malformed
+    JSON, so a truncated trace is reported rather than half-read."""
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSONL ({exc.msg})"
+                ) from exc
+
+
+def summarize_events(events: Iterator[dict[str, Any]]) -> str:
+    spans: dict[str, dict[str, float]] = {}
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    span_events = 0
+    counter_records = 0
+    errors = 0
+    for event in events:
+        kind = event.get("type")
+        if kind == "span":
+            span_events += 1
+            name = event.get("name", "?")
+            duration = float(event.get("duration", 0.0))
+            agg = spans.setdefault(
+                name, {"count": 0, "total": 0.0, "max": 0.0}
+            )
+            agg["count"] += 1
+            agg["total"] += duration
+            agg["max"] = max(agg["max"], duration)
+            if event.get("status") == "error":
+                errors += 1
+        elif kind == "counters":
+            counter_records += 1
+            for name, value in event.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + int(value)
+            gauges.update(event.get("gauges", {}))
+
+    lines = [
+        f"trace: {span_events} span events, "
+        f"{counter_records} counter records"
+        + (f", {errors} errored spans" if errors else "")
+    ]
+    if spans:
+        lines.append("")
+        lines.append(
+            f"  {'span':<34} {'count':>7} {'total':>10} "
+            f"{'mean':>10} {'max':>10}"
+        )
+        for name, agg in sorted(
+            spans.items(), key=lambda kv: -kv[1]["total"]
+        ):
+            count = int(agg["count"])
+            lines.append(
+                f"  {name:<34} {count:>7} "
+                f"{format_seconds(agg['total']):>10} "
+                f"{format_seconds(agg['total'] / count):>10} "
+                f"{format_seconds(agg['max']):>10}"
+            )
+    if counters or gauges:
+        lines.append("")
+        lines.append(f"  {'counter':<42} {'value':>12}")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name:<42} {value:>12}")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"  {name:<42} {value:>12g}")
+    return "\n".join(lines)
+
+
+def summarize_jsonl(path: str | Path) -> str:
+    """Summarize a trace file written via ``--trace FILE.jsonl``."""
+    return summarize_events(load_events(path))

@@ -137,3 +137,77 @@ class TestCharacterize:
         out = capsys.readouterr().out
         assert "Theorem 4.1" in out
         assert "linear (Theorem 6.4): no" in out
+
+
+class TestObservability:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_quiet_suppresses_stdout(self, rules_file, capsys):
+        assert main(["classify", rules_file, "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_quiet_preserves_exit_code(self, guarded_rules_file, capsys):
+        code = main(
+            ["rewrite", guarded_rules_file, "--target", "linear", "--quiet"]
+        )
+        assert code == 1
+        assert capsys.readouterr().out == ""
+
+    def test_profile_prints_spans_and_counters(self, tmp_path, capsys):
+        path = tmp_path / "e9.txt"
+        path.write_text("R(x) -> P(x)\nR(x), P(x) -> T(x)\n")
+        assert main(
+            ["rewrite", str(path), "--target", "linear", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "spans:" in out and "counters:" in out
+        assert "rewrite.search" in out
+        assert "chase.triggers_fired" in out
+        assert "hom.backtracks" in out
+        assert "enumeration.candidates" in out
+
+    def test_trace_then_stats_round_trip(self, tmp_path, capsys):
+        import json
+
+        rules = tmp_path / "e9.txt"
+        rules.write_text("R(x) -> P(x)\nR(x), P(x) -> T(x)\n")
+        trace = tmp_path / "out.jsonl"
+        assert main(
+            ["rewrite", str(rules), "--target", "linear",
+             "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        lines = trace.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            json.loads(line)  # every line is valid JSON
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "rewrite" in out and "chase" in out
+        assert "chase.triggers_fired" in out
+
+    def test_stats_on_missing_file(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 1
+        assert "nope.jsonl" in capsys.readouterr().err
+
+    def test_stats_on_malformed_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert main(["stats", str(path)]) == 1
+        assert "not valid JSONL" in capsys.readouterr().err
+
+    def test_chase_profile_reports_stop_reason(
+        self, rules_file, data_file, capsys
+    ):
+        assert main(
+            ["chase", rules_file, data_file, "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chase.round" in out
+        assert "chase.nulls_created" in out
