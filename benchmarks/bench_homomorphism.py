@@ -1,5 +1,8 @@
 """Engine bench — homomorphism search: query matching, instance-level
-homs, isomorphism, and core computation as instances grow."""
+homs, isomorphism, and core computation as instances grow.  The clique
+and sparse-path cases scale far enough that the positional index in
+``_candidates`` (DESIGN.md §7) is the difference between probing a
+handful of bucket entries and scanning the full extent per atom."""
 
 import pytest
 
@@ -55,12 +58,42 @@ def test_odd_cycle_to_triangle_fails(benchmark, length):
     assert hom is None  # directed C_m -> C_3 needs 3 | m
 
 
-@pytest.mark.parametrize("size", [3, 4, 5])
+@pytest.mark.parametrize("size", [3, 4, 5, 8])
 def test_path_query_on_clique(benchmark, size):
     atoms = parse_atoms("E(x, y), E(y, z), E(z, w)", SCHEMA)
     target = clique(size)
     count = benchmark(lambda: sum(1 for __ in all_extensions_of(atoms, target)))
     assert count > 0
+
+
+@pytest.mark.parametrize("length", [50, 100, 200])
+def test_anchored_path_on_long_chain(benchmark, length):
+    # One end of the query is pinned by the first atom's bound position;
+    # with the index each join step probes a single bucket, so the cost
+    # is O(path) rather than O(path × chain length).
+    chain = Instance.from_facts(
+        SCHEMA,
+        [
+            Fact(REL, (Const(f"c{i}"), Const(f"c{i + 1}")))
+            for i in range(length)
+        ],
+    )
+    atoms = parse_atoms("E(x, y), E(y, z), E(z, w), E(w, u)", SCHEMA)
+    count = benchmark(
+        lambda: sum(1 for __ in all_extensions_of(atoms, chain))
+    )
+    assert count == length - 3
+
+
+@pytest.mark.parametrize("length", [9, 15, 21])
+def test_long_cycle_to_triangle_indexed(benchmark, length):
+    # The backtracking search repeatedly asks "which edges leave the
+    # image of y?" — a one-bucket probe with the index, a full scan
+    # without it.
+    source = cycle(length)
+    target = cycle(3, prefix="t")
+    hom = benchmark(find_homomorphism, source, target)
+    assert hom is not None
 
 
 @pytest.mark.parametrize("length", [4, 6, 8])

@@ -33,6 +33,19 @@ def rng() -> random.Random:
 
 
 @pytest.fixture(autouse=True)
+def _fresh_entailment_cache():
+    """Each bench starts with a cold entailment memo.
+
+    The cache still warms across a benchmark's own iterations, so timed
+    rewrite benches measure the steady state of the shipped engine —
+    see EXPERIMENTS.md for how to read those numbers."""
+    from repro.entailment import ENTAILMENT_CACHE
+
+    ENTAILMENT_CACHE.clear()
+    yield
+
+
+@pytest.fixture(autouse=True)
 def bench_counters(request):
     """Attach engine counter deltas to pytest-benchmark runs.
 

@@ -13,6 +13,25 @@ Two variants:
   extension in the current instance;
 * **oblivious** — every trigger fires exactly once, regardless.
 
+Two evaluation strategies compute the same result:
+
+* **seminaive** (default) — delta-driven: each round, a dependency's
+  body is only matched against joins that touch at least one fact added
+  since that dependency was last evaluated, so old triggers are never
+  re-derived.  The working state keeps a per-relation, per-position
+  hash index that the homomorphism search probes directly.
+* **naive** — re-enumerates every trigger of every dependency each
+  round (the textbook fixpoint loop).  Kept forever as the reference
+  implementation: ``tests/test_differential_chase.py`` cross-checks the
+  two engines on randomized scenarios.
+
+Both strategies fire the active triggers of a dependency in a canonical
+deterministic order (sorted by the bindings of the universally
+quantified variables), which makes the chase output — including the
+numbering of invented nulls — a function of ``(instance, dependencies,
+variant)`` alone, independent of the evaluation strategy.  That is what
+lets the differential harness assert *equality*, not just isomorphism.
+
 General tgd sets need not terminate; the engine takes round/fact budgets
 and reports whether it reached a fixpoint.  Use
 :func:`repro.chase.termination.is_weakly_acyclic` for a static
@@ -29,13 +48,18 @@ from ..dependencies.egd import EGD
 from ..dependencies.tgd import TGD
 from ..homomorphisms.search import all_extensions_of, find_extension, satisfies_atoms
 from ..instances.instance import Instance
+from ..lang.atoms import Atom
 from ..lang.schema import Relation, Schema
-from ..lang.terms import FreshNulls, Null, Var, element_sort_key
+from ..lang.terms import Const, FreshNulls, Null, Var, element_sort_key
 from ..telemetry import TELEMETRY, MetricsProbe, span
 
-__all__ = ["ChaseResult", "ChaseError", "StopReason", "chase"]
+__all__ = [
+    "ChaseResult", "ChaseError", "StopReason", "chase", "STRATEGIES",
+]
 
 Dependency = Union[TGD, EGD, DenialConstraint]
+
+STRATEGIES = ("seminaive", "naive")
 
 
 class ChaseError(ValueError):
@@ -100,7 +124,19 @@ class ChaseResult:
 
 
 class _State:
-    """Mutable chase working state."""
+    """Mutable chase working state with an incremental positional index.
+
+    Exposes the same probe interface as :class:`Instance`
+    (``tuples`` / ``tuples_with``), so the homomorphism search runs
+    directly against the live state — no snapshot copies on the hot
+    path.
+
+    Semi-naive bookkeeping: every genuinely new fact is appended to
+    ``log``; per-dependency cursors into the log define the delta each
+    dependency still has to see.  Egd merges rename elements in place,
+    which invalidates the deltas — ``generation`` is bumped and the log
+    rebuilt, forcing a full re-enumeration on the next sweep.
+    """
 
     def __init__(self, instance: Instance, schema: Schema):
         self.schema = schema
@@ -113,6 +149,34 @@ class _State:
             )
             for rel in schema
         }
+        self.generation = 0
+        self.log: list[tuple[Relation, tuple]] = []
+        self._index: dict[Relation, dict[tuple[int, object], set[tuple]]] = {}
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Recompute the index and log from the relation sets."""
+        self._index = {rel: {} for rel in self.relations}
+        self.log = []
+        for rel, tuples in self.relations.items():
+            buckets = self._index[rel]
+            for tup in tuples:
+                self.log.append((rel, tup))
+                for pos, elem in enumerate(tup):
+                    buckets.setdefault((pos, elem), set()).add(tup)
+
+    # -- Instance-compatible probe interface ---------------------------
+
+    def tuples(self, relation: Relation) -> set:
+        return self.relations[relation]
+
+    def tuples_with(
+        self, relation: Relation, position: int, element: object
+    ) -> set:
+        bucket = self._index[relation].get((position, element))
+        return bucket if bucket is not None else _EMPTY_SET
+
+    # -- mutation ------------------------------------------------------
 
     def snapshot(self) -> Instance:
         return Instance(self.schema, self.domain, self.relations)
@@ -122,9 +186,15 @@ class _State:
 
     def add(self, relation: Relation, tup: tuple) -> bool:
         self.domain.update(tup)
-        before = len(self.relations[relation])
-        self.relations[relation].add(tup)
-        return len(self.relations[relation]) != before
+        tuples = self.relations[relation]
+        if tup in tuples:
+            return False
+        tuples.add(tup)
+        buckets = self._index[relation]
+        for pos, elem in enumerate(tup):
+            buckets.setdefault((pos, elem), set()).add(tup)
+        self.log.append((relation, tup))
+        return True
 
     def merge(self, keep: object, drop: object) -> None:
         """Replace ``drop`` by ``keep`` everywhere."""
@@ -135,6 +205,89 @@ class _State:
                 tuple(keep if elem == drop else elem for elem in tup)
                 for tup in tuples
             }
+        self.generation += 1
+        self._rebuild()
+
+
+_EMPTY_SET: frozenset = frozenset()
+
+
+class _DeltaCursor:
+    """Per-dependency position into a :class:`_State`'s fact log."""
+
+    __slots__ = ("generation", "position")
+
+    def __init__(self) -> None:
+        self.generation = -1  # never evaluated: first sweep sees all
+        self.position = 0
+
+
+def _unify_atom(atom: Atom, tup: tuple) -> dict[Var, object] | None:
+    """Match one atom against one fact; ``None`` on clash."""
+    partial: dict[Var, object] = {}
+    for arg, elem in zip(atom.args, tup):
+        if isinstance(arg, Const):
+            if arg != elem:
+                return None
+        else:
+            expected = partial.get(arg)
+            if expected is None:
+                partial[arg] = elem
+            elif expected != elem:
+                return None
+    return partial
+
+
+def _enumerate_triggers(
+    state: _State,
+    dep: TGD,
+    cursor: _DeltaCursor,
+    strategy: str,
+) -> list[dict[Var, object]]:
+    """The dependency's candidate triggers for this sweep, canonically
+    ordered.
+
+    ``naive`` re-enumerates every body match.  ``seminaive`` joins each
+    body atom in turn against the delta (facts logged since the cursor)
+    and the remaining atoms against the full state, so every returned
+    trigger touches at least one new fact; triggers whose body is
+    entirely old were already enumerated by an earlier sweep.  After an
+    egd merge (generation bump) the delta is meaningless and a full
+    enumeration is forced.
+    """
+    univ = dep.universal_variables
+    if strategy == "naive" or cursor.generation != state.generation:
+        triggers = list(all_extensions_of(dep.body, state))
+    else:
+        triggers = []
+        delta = state.log[cursor.position:]
+        if dep.body and delta:
+            by_rel: dict[Relation, list[tuple]] = {}
+            for rel, tup in delta:
+                by_rel.setdefault(rel, []).append(tup)
+            seen: set[tuple] = set()
+            for i, atom in enumerate(dep.body):
+                new_tuples = by_rel.get(atom.relation)
+                if not new_tuples:
+                    continue
+                rest = dep.body[:i] + dep.body[i + 1:]
+                for tup in new_tuples:
+                    partial = _unify_atom(atom, tup)
+                    if partial is None:
+                        continue
+                    for trig in all_extensions_of(rest, state, partial):
+                        key = tuple(trig[v] for v in univ)
+                        if key not in seen:
+                            seen.add(key)
+                            triggers.append(trig)
+    cursor.generation = state.generation
+    cursor.position = len(state.log)
+    # Canonical firing order: by the frontier-to-be bindings.  Makes the
+    # fired sequence (and hence null numbering) strategy-independent.
+    triggers.sort(
+        key=lambda trig: tuple(element_sort_key(trig[v]) for v in univ)
+    )
+    return triggers
 
 
 def _combined_schema(instance: Instance, deps: Sequence[Dependency]) -> Schema:
@@ -172,9 +325,9 @@ def _chase_egd(
         return (False, False)
     changed = False
     while True:
-        snapshot = state.snapshot()
         violation = None
-        for trigger in all_extensions_of(egd.body, snapshot):
+        # Search the live state; we break out before mutating it.
+        for trigger in all_extensions_of(egd.body, state):
             if trigger[egd.lhs] != trigger[egd.rhs]:
                 violation = (trigger[egd.lhs], trigger[egd.rhs])
                 break
@@ -202,6 +355,7 @@ def chase(
     dependencies: Iterable[Dependency],
     *,
     variant: str = "restricted",
+    strategy: str = "seminaive",
     max_rounds: int | None = None,
     max_facts: int | None = None,
 ) -> ChaseResult:
@@ -212,10 +366,17 @@ def chase(
     With both ``None``, the chase runs until a fixpoint (which may never
     come for non-terminating sets — prefer an explicit budget, or check
     weak acyclicity first).
+
+    ``strategy`` selects the evaluation plan (``"seminaive"`` — delta
+    joins over the indexed state, the default — or ``"naive"`` — full
+    re-enumeration each round).  Both produce the same result; see the
+    module docstring.
     """
     deps = sorted(dependencies, key=str)
     if variant not in ("restricted", "oblivious"):
         raise ChaseError(f"unknown chase variant {variant!r}")
+    if strategy not in STRATEGIES:
+        raise ChaseError(f"unknown chase strategy {strategy!r}")
     if variant == "oblivious" and any(
         isinstance(d, (EGD, DenialConstraint)) for d in deps
     ):
@@ -223,6 +384,7 @@ def chase(
 
     schema = _combined_schema(instance, deps)
     state = _State(instance, schema)
+    cursors = [_DeltaCursor() for __ in deps]
     nulls = FreshNulls()
     fired = 0
     nulls_created = 0
@@ -230,7 +392,9 @@ def chase(
     oblivious_done: set[tuple] = set()
     probe = MetricsProbe()
 
-    with span("chase", variant=variant, dependencies=len(deps)) as sp:
+    with span(
+        "chase", variant=variant, strategy=strategy, dependencies=len(deps)
+    ) as sp:
 
         def finish(
             terminated: bool, failed: bool, reason: str
@@ -257,10 +421,7 @@ def chase(
                 progressed = False
                 for index, dep in enumerate(deps):
                     if isinstance(dep, DenialConstraint):
-                        if (
-                            find_extension(dep.body, state.snapshot())
-                            is not None
-                        ):
+                        if find_extension(dep.body, state) is not None:
                             return finish(
                                 True, True, StopReason.DENIAL_VIOLATION
                             )
@@ -273,8 +434,13 @@ def chase(
                                 True, True, StopReason.EGD_FAILURE
                             )
                         continue
-                    snapshot = state.snapshot()
-                    triggers = list(all_extensions_of(dep.body, snapshot))
+                    triggers = _enumerate_triggers(
+                        state, dep, cursors[index], strategy
+                    )
+                    if TELEMETRY.enabled and triggers:
+                        TELEMETRY.count(
+                            "chase.triggers_enumerated", len(triggers)
+                        )
                     for trigger in triggers:
                         if variant == "oblivious":
                             key = (
@@ -289,9 +455,8 @@ def chase(
                             oblivious_done.add(key)
                         else:
                             # Restricted: re-check activity against the
-                            # live state.
-                            live = state.snapshot()
-                            if satisfies_atoms(dep.head, live, trigger):
+                            # live indexed state (no snapshot copies).
+                            if satisfies_atoms(dep.head, state, trigger):
                                 continue
                         added, created = _fire_tgd(
                             state, dep, trigger, nulls

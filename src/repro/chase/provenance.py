@@ -14,10 +14,14 @@ from typing import Iterable, Sequence, Union
 from ..dependencies.denial import DenialConstraint
 from ..dependencies.egd import EGD
 from ..dependencies.tgd import TGD
-from ..homomorphisms.search import all_extensions_of, satisfies_atoms
+from ..homomorphisms.search import (
+    all_extensions_of,
+    find_extension,
+    satisfies_atoms,
+)
 from ..instances.instance import Instance
 from ..lang.atoms import Fact
-from ..lang.terms import FreshNulls, Var
+from ..lang.terms import FreshNulls, Var, element_sort_key
 from .engine import (
     ChaseError,
     ChaseResult,
@@ -100,21 +104,27 @@ def traced_chase(
         progressed = False
         for dep in deps:
             if isinstance(dep, DenialConstraint):
-                snapshot = state.snapshot()
-                if not dep.satisfied_by(snapshot):
+                if find_extension(dep.body, state) is not None:
                     return TracedChaseResult(
                         ChaseResult(
-                            snapshot, True, True, rounds, fired,
+                            state.snapshot(), True, True, rounds, fired,
                             nulls_created,
                             stop_reason=StopReason.DENIAL_VIOLATION,
                         ),
                         tuple(trace),
                     )
                 continue
-            snapshot = state.snapshot()
-            for trigger in list(all_extensions_of(dep.body, snapshot)):
-                live = state.snapshot()
-                if satisfies_atoms(dep.head, live, trigger):
+            univ = dep.universal_variables
+            triggers = sorted(
+                all_extensions_of(dep.body, state),
+                key=lambda trig: tuple(
+                    element_sort_key(trig[v]) for v in univ
+                ),
+            )
+            for trigger in triggers:
+                # Activity re-check against the live indexed state — the
+                # engine's canonical order, so traces match chase() runs.
+                if satisfies_atoms(dep.head, state, trigger):
                     continue
                 before = {
                     rel: set(tuples)

@@ -1,6 +1,12 @@
 """Entailment, equivalence, certain answers."""
 
 from .bcq import BCQ, certain_answer, freeze_atoms
+from .cache import (
+    ENTAILMENT_CACHE,
+    EntailmentCache,
+    dependency_cache_key,
+    entailment_cache_key,
+)
 from .implication import (
     entailed_by_empty_theory,
     entails,
@@ -11,6 +17,8 @@ from .trivalent import TriBool, UndecidedError, tri_all
 
 __all__ = [
     "BCQ", "certain_answer", "freeze_atoms",
+    "ENTAILMENT_CACHE", "EntailmentCache",
+    "dependency_cache_key", "entailment_cache_key",
     "entailed_by_empty_theory", "entails", "entails_all", "equivalent",
     "TriBool", "UndecidedError", "tri_all",
 ]

@@ -26,6 +26,7 @@ from ..lang.schema import Relation, Schema
 from ..lang.terms import Const, Null, Var
 from ..telemetry import TELEMETRY, span
 from .bcq import DEFAULT_CHASE_ROUNDS
+from .cache import ENTAILMENT_CACHE, entailment_cache_key
 from .trivalent import TriBool, tri_all
 
 __all__ = ["entails", "entails_all", "equivalent", "entailed_by_empty_theory"]
@@ -121,15 +122,36 @@ def entails(
     conclusion: Conclusion,
     *,
     max_rounds: int | None = None,
+    cache: bool = True,
 ) -> TriBool:
     """``Σ ⊨ σ`` for a tgd, egd, or edd conclusion.
 
     With ``max_rounds=None``: weakly acyclic sets are chased to a
     fixpoint (definitive answers); otherwise a default budget applies and
     a negative-looking outcome is reported as ``UNKNOWN``.
+
+    Verdicts are memoized in :data:`repro.entailment.ENTAILMENT_CACHE`,
+    keyed on the canonicalized ``(premises, conclusion, max_rounds)``
+    triple — the rewriting algorithms re-ask the same questions across
+    overlapping premise subsets and alphabetic variants, which all
+    resolve to one chase.  Pass ``cache=False`` to force a cold
+    computation (the differential and property tests do).
     """
     deps = list(dependencies)
     with span("entails", conclusion=type(conclusion).__name__) as sp:
+        key = (
+            entailment_cache_key(deps, conclusion, max_rounds)
+            if cache
+            else None
+        )
+        if key is not None:
+            hit, verdict = ENTAILMENT_CACHE.lookup(key)
+            if hit:
+                if TELEMETRY.enabled:
+                    TELEMETRY.count("entailment.calls")
+                    TELEMETRY.count(f"entailment.{verdict}")
+                sp.set(verdict=str(verdict), cached=True)
+                return verdict  # type: ignore[return-value]
         body, body_vars = _conclusion_parts(conclusion)
         database, track = _freeze_body(
             body, body_vars, deps, conclusion.schema
@@ -148,6 +170,8 @@ def entails(
                 verdict = TriBool.FALSE
             else:
                 verdict = TriBool.UNKNOWN
+        if key is not None:
+            ENTAILMENT_CACHE.store(key, verdict)
         if TELEMETRY.enabled:
             TELEMETRY.count("entailment.calls")
             TELEMETRY.count(f"entailment.{verdict}")

@@ -41,9 +41,49 @@ def _candidates(
     target: Instance,
     assignment: Mapping[Var, object],
 ) -> list[tuple]:
-    """Target tuples compatible with the atom under the assignment."""
+    """Target tuples compatible with the atom under the assignment.
+
+    Bound positions (constants and already-assigned variables) are used
+    to probe the target's per-relation, per-position hash index
+    (:meth:`repro.instances.instance.Instance.tuples_with`); the
+    smallest matching bucket is then filtered on the remaining
+    constraints.  A fully bound atom degenerates to a single set
+    membership test, and only fully unbound atoms fall back to the full
+    extent.
+    """
+    args = atom.args
+    bound_values: list = [None] * len(args)
+    unbound = 0
+    for pos, arg in enumerate(args):
+        if isinstance(arg, Const):
+            bound_values[pos] = arg
+        else:
+            value = assignment.get(arg)
+            if value is None:
+                unbound += 1
+            else:
+                bound_values[pos] = value
+    if not unbound:
+        # Every position determined: the only possible match is the
+        # ground tuple itself.
+        tup = tuple(bound_values)
+        return [tup] if tup in target.tuples(atom.relation) else []
+    pool = None
+    if unbound < len(args):
+        for pos, value in enumerate(bound_values):
+            if value is None:
+                continue
+            bucket = target.tuples_with(atom.relation, pos, value)
+            if pool is None or len(bucket) < len(pool):
+                pool = bucket
+                if not pool:
+                    return []
+        if TELEMETRY.enabled:
+            TELEMETRY.count("hom.index_probes")
+    if pool is None:
+        pool = target.tuples(atom.relation)
     matches = []
-    for tup in target.tuples(atom.relation):
+    for tup in pool:
         bound: dict[Var, object] = {}
         ok = True
         for arg, elem in zip(atom.args, tup):

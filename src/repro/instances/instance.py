@@ -35,7 +35,8 @@ class InstanceError(ValueError):
 class Instance:
     """An immutable relational instance over a fixed schema."""
 
-    __slots__ = ("_schema", "_domain", "_relations", "_facts_cache", "_hash")
+    __slots__ = ("_schema", "_domain", "_relations", "_facts_cache", "_hash",
+                 "_index")
 
     def __init__(
         self,
@@ -67,6 +68,7 @@ class Instance:
         self._relations = rels
         self._facts_cache: frozenset[Fact] | None = None
         self._hash: int | None = None
+        self._index: dict[Relation, dict[tuple[int, object], tuple]] | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -92,6 +94,7 @@ class Instance:
         instance._relations = relations
         instance._facts_cache = None
         instance._hash = None
+        instance._index = None
         return instance
 
     @classmethod
@@ -154,6 +157,35 @@ class Instance:
             return self._relations[relation]
         except KeyError:
             raise InstanceError(f"{relation} not in schema") from None
+
+    def tuples_with(
+        self, relation: Relation | str, position: int, element: object
+    ) -> tuple:
+        """Facts of ``relation`` whose ``position``-th argument is
+        ``element``.
+
+        Backed by a lazily built per-relation, per-position hash index,
+        so a probe is a dict lookup rather than a scan of the whole
+        extent.  The index is built once per relation on first use and
+        shared for the lifetime of the (immutable) instance.
+        """
+        if isinstance(relation, str):
+            relation = self._schema.relation(relation)
+        if self._index is None:
+            self._index = {}
+        by_pos = self._index.get(relation)
+        if by_pos is None:
+            buckets: dict[tuple[int, object], list] = {}
+            try:
+                tuples = self._relations[relation]
+            except KeyError:
+                raise InstanceError(f"{relation} not in schema") from None
+            for tup in tuples:
+                for pos, elem in enumerate(tup):
+                    buckets.setdefault((pos, elem), []).append(tup)
+            by_pos = {key: tuple(val) for key, val in buckets.items()}
+            self._index[relation] = by_pos
+        return by_pos.get((position, element), ())
 
     def facts(self) -> frozenset[Fact]:
         """``facts(I)`` as a frozen set of :class:`Fact`."""

@@ -11,6 +11,14 @@ Lemma (7.3): if a set ``Σ ∈ TGD_{n,m}`` has *any* equivalent linear
 Entailment is chase-based (Section 9.2 / Maier–Mendelzon–Sagiv) and may
 be inconclusive on pathological inputs; inconclusive candidates are
 reported rather than guessed at (see :class:`RewriteResult.status`).
+
+Entailment calls go through the memo layer in
+:mod:`repro.entailment.cache`: the candidate loop, the verification
+pass, and especially :func:`minimize_tgds` (which re-decides
+``rest ⊨ member`` over heavily overlapping subsets on every sweep) all
+share one canonicalized verdict cache.  ``RewriteResult.metrics``
+carries the ``entailment.cache_hits`` / ``entailment.cache_misses``
+deltas when telemetry is on.
 """
 
 from __future__ import annotations
@@ -97,6 +105,10 @@ def minimize_tgds(
 
     Keeps the set logically equivalent; only definitively redundant
     members (entailment = TRUE) are removed.
+
+    The sweeps re-ask ``rest ⊨ member`` for mostly unchanged subsets;
+    the entailment memo (:mod:`repro.entailment.cache`) answers the
+    repeats without re-chasing.
     """
     current = list(tgds)
     changed = True

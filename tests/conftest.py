@@ -7,7 +7,19 @@ import random
 import pytest
 
 from repro import Instance, Schema, parse_tgds
+from repro.entailment import ENTAILMENT_CACHE
 from repro.lang import Const
+
+
+@pytest.fixture(autouse=True)
+def _fresh_entailment_cache():
+    """Isolate tests from the process-wide entailment memo.
+
+    The cache is deliberately global (repeated questions across a
+    session should hit), but tests assert cold-start behaviour — counter
+    values, chase spans — that a warm cache would silently satisfy."""
+    ENTAILMENT_CACHE.clear()
+    yield
 
 
 @pytest.fixture

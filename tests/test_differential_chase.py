@@ -1,0 +1,323 @@
+"""Differential harness: naive vs semi-naive chase.
+
+The semi-naive engine (delta joins over the indexed state,
+``strategy="seminaive"``) is proven equivalent to the reference naive
+engine by construction *and* by brute force: both fire the active
+triggers of every dependency in the same canonical order, so their
+outputs must be identical — not merely isomorphic — fact for fact and
+null for null.  This module is the brute-force half: hundreds of
+randomized scenarios (both variants, with egds and denial constraints
+mixed in), seed-pinned plus a hypothesis sweep, each asserting
+isomorphism (the paper-level notion, via
+:mod:`repro.homomorphisms.isomorphism`) on top of exact equality of
+instances and of every ``ChaseResult`` statistic.
+
+Also here: the counter-parity check CI runs (the semi-naive engine may
+never *enumerate* more triggers than the naive one) and the regression
+test for the restricted-chase hot loop that used to copy the full
+instance once per trigger.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Instance, Schema, chase, parse_tgds
+from repro.chase import ChaseError, StopReason
+from repro.dependencies.egd import EGD
+from repro.dependencies.denial import DenialConstraint
+from repro.homomorphisms.isomorphism import are_isomorphic
+from repro.lang import Atom, Const, Fact, Var
+from repro.telemetry import TELEMETRY
+from repro.workloads.random_instances import random_instance
+from repro.workloads.random_tgds import random_schema, random_tgd_set
+from repro.workloads.scenarios import all_scenarios
+
+MAX_ROUNDS = 5
+MAX_FACTS = 250
+ISO_FACT_CAP = 80  # isomorphism search is exponential; equality covers the rest
+
+
+def _random_egd(rng: random.Random, schema: Schema) -> EGD | None:
+    """A functional-dependency-style egd on a relation of arity ≥ 2."""
+    wide = [rel for rel in schema if rel.arity >= 2]
+    if not wide:
+        return None
+    rel = rng.choice(wide)
+    left = [Var(f"e{i}") for i in range(rel.arity)]
+    right = [left[0]] + [Var(f"f{i}") for i in range(1, rel.arity)]
+    return EGD(
+        (Atom(rel, tuple(left)), Atom(rel, tuple(right))),
+        left[-1],
+        right[-1],
+    )
+
+
+def _random_denial(rng: random.Random, schema: Schema) -> DenialConstraint:
+    """A two-atom denial over random relations."""
+    atoms = []
+    pool = [Var("d0"), Var("d1"), Var("d2")]
+    for __ in range(2):
+        rel = rng.choice(list(schema))
+        atoms.append(
+            Atom(rel, tuple(rng.choice(pool) for __ in range(rel.arity)))
+        )
+    return DenialConstraint(tuple(atoms))
+
+
+def _random_scenario(
+    seed: int, *, with_egds: bool = False, with_denials: bool = False
+):
+    rng = random.Random(seed)
+    schema = random_schema(rng, relations=rng.randint(2, 3), max_arity=2)
+    try:
+        tgds = random_tgd_set(
+            rng,
+            schema,
+            rng.randint(1, 3),
+            body_atoms=2,
+            head_atoms=2,
+            body_variables=3,
+            existential_variables=1,
+        )
+    except ValueError:
+        return None
+    deps: list = list(tgds)
+    if with_egds:
+        egd = _random_egd(rng, schema)
+        if egd is not None:
+            deps.append(egd)
+    if with_denials:
+        deps.append(_random_denial(rng, schema))
+    instance = random_instance(
+        rng, schema, rng.randint(2, 3), density=0.4
+    )
+    return instance, deps
+
+
+def assert_strategies_agree(instance, deps, *, variant="restricted"):
+    """The core differential assertion."""
+    naive = chase(
+        instance, deps, variant=variant, strategy="naive",
+        max_rounds=MAX_ROUNDS, max_facts=MAX_FACTS,
+    )
+    semi = chase(
+        instance, deps, variant=variant, strategy="seminaive",
+        max_rounds=MAX_ROUNDS, max_facts=MAX_FACTS,
+    )
+    assert semi.stop_reason == naive.stop_reason
+    assert semi.terminated == naive.terminated
+    assert semi.failed == naive.failed
+    assert semi.rounds == naive.rounds
+    assert semi.fired == naive.fired
+    assert semi.nulls_created == naive.nulls_created
+    # Canonical firing order makes the engines bit-for-bit equal...
+    assert semi.instance == naive.instance
+    # ...which the paper-level equivalence (isomorphism) must confirm.
+    if naive.instance.fact_count() <= ISO_FACT_CAP:
+        assert are_isomorphic(semi.instance, naive.instance)
+    return naive
+
+
+class TestRandomizedSweep:
+    """Seed-pinned randomized scenarios: ≥200 in total across the
+    parametrizations below, every one a naive/semi-naive equivalence
+    proof obligation."""
+
+    @pytest.mark.parametrize("seed", range(120))
+    def test_tgds_restricted(self, seed):
+        scenario = _random_scenario(seed)
+        if scenario is None:
+            pytest.skip("schema cannot support requested tgd shape")
+        instance, deps = scenario
+        assert_strategies_agree(instance, deps)
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_tgds_oblivious(self, seed):
+        scenario = _random_scenario(seed)
+        if scenario is None:
+            pytest.skip("schema cannot support requested tgd shape")
+        instance, deps = scenario
+        assert_strategies_agree(instance, deps, variant="oblivious")
+
+    @pytest.mark.parametrize("seed", range(1000, 1040))
+    def test_with_egds(self, seed):
+        scenario = _random_scenario(seed, with_egds=True)
+        if scenario is None:
+            pytest.skip("schema cannot support requested tgd shape")
+        instance, deps = scenario
+        assert_strategies_agree(instance, deps)
+
+    @pytest.mark.parametrize("seed", range(2000, 2030))
+    def test_with_denials(self, seed):
+        scenario = _random_scenario(seed, with_denials=True)
+        if scenario is None:
+            pytest.skip("schema cannot support requested tgd shape")
+        instance, deps = scenario
+        assert_strategies_agree(instance, deps)
+
+    @pytest.mark.parametrize("seed", range(3000, 3020))
+    def test_with_egds_and_denials(self, seed):
+        scenario = _random_scenario(
+            seed, with_egds=True, with_denials=True
+        )
+        if scenario is None:
+            pytest.skip("schema cannot support requested tgd shape")
+        instance, deps = scenario
+        assert_strategies_agree(instance, deps)
+
+    def test_denial_scenarios_actually_fire_sometimes(self):
+        reasons = set()
+        for seed in range(2000, 2030):
+            scenario = _random_scenario(seed, with_denials=True)
+            if scenario is None:
+                continue
+            instance, deps = scenario
+            result = chase(
+                instance, deps, strategy="seminaive",
+                max_rounds=MAX_ROUNDS, max_facts=MAX_FACTS,
+            )
+            reasons.add(result.stop_reason)
+        # the sweep must exercise the violation path, not just fixpoints
+        assert StopReason.DENIAL_VIOLATION in reasons
+
+
+class TestHypothesisSweep:
+    """Property-based layer on top of the pinned seeds."""
+
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        egds=st.booleans(),
+        denials=st.booleans(),
+    )
+    def test_equivalence(self, seed, egds, denials):
+        scenario = _random_scenario(
+            seed, with_egds=egds, with_denials=denials
+        )
+        if scenario is None:
+            return
+        instance, deps = scenario
+        assert_strategies_agree(instance, deps)
+
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    @given(seed=st.integers(min_value=0, max_value=2**20))
+    def test_equivalence_oblivious(self, seed):
+        scenario = _random_scenario(seed)
+        if scenario is None:
+            return
+        instance, deps = scenario
+        assert_strategies_agree(instance, deps, variant="oblivious")
+
+
+class TestCuratedScenarios:
+    """The curated ontology workloads, both strategies."""
+
+    @pytest.mark.parametrize(
+        "scenario", all_scenarios(), ids=lambda s: s.name
+    )
+    def test_equivalence(self, scenario):
+        assert_strategies_agree(scenario.sample, scenario.tgds)
+
+    def test_social_non_terminating_budget(self):
+        from repro.workloads.scenarios import social_non_terminating
+
+        scenario = social_non_terminating()
+        result = assert_strategies_agree(scenario.sample, scenario.tgds)
+        assert result.stop_reason == StopReason.ROUND_BUDGET
+
+
+class TestCounterParity:
+    """The CI gate: semi-naive never enumerates more triggers than
+    naive, and fires exactly as many."""
+
+    FIXED = (
+        ("E(x, y), E(y, z) -> E(x, z)", "E(a, b). E(b, c). E(c, d). E(d, e)"),
+        ("R(x, y), E(y, z) -> R(x, z)", "R(a, b). E(b, c). E(c, d). E(d, e)"),
+        ("E(x, y) -> exists w . R(y, w)\nR(x, y) -> E(x, y)",
+         "E(a, b). E(b, a)"),
+    )
+
+    def _counters(self, instance, deps, strategy):
+        TELEMETRY.reset()
+        TELEMETRY.enable(spans=False)
+        try:
+            chase(
+                instance, deps, strategy=strategy,
+                max_rounds=8, max_facts=MAX_FACTS,
+            )
+            return TELEMETRY.snapshot()
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+
+    @pytest.mark.parametrize("case", range(len(FIXED)))
+    def test_seminaive_enumerates_no_more_than_naive(self, case):
+        rules_text, facts_text = self.FIXED[case]
+        schema = Schema.of(("E", 2), ("R", 2))
+        deps = parse_tgds(rules_text, schema)
+        instance = Instance.parse(facts_text, schema)
+        naive = self._counters(instance, deps, "naive")
+        semi = self._counters(instance, deps, "seminaive")
+        assert (
+            semi.get("chase.triggers_enumerated", 0)
+            <= naive.get("chase.triggers_enumerated", 0)
+        )
+        assert (
+            semi.get("chase.triggers_fired", 0)
+            == naive.get("chase.triggers_fired", 0)
+        )
+
+
+class TestRestrictedHotLoopRegression:
+    """The activity re-check used to call ``state.snapshot()`` — a full
+    instance copy with validation — once per trigger.  Chasing a chain
+    to its transitive closure fires >1k triggers; under the old
+    per-trigger copies this took minutes, with the live indexed state
+    it is sub-second.  The generous wall-clock bound fails loudly if
+    full copies ever sneak back into the hot loop."""
+
+    TIME_BUDGET_SECONDS = 20.0
+
+    @pytest.mark.parametrize("strategy", ["naive", "seminaive"])
+    def test_thousand_triggers_within_budget(self, strategy):
+        schema = Schema.of(("E", 2),)
+        rel = schema.relation("E")
+        chain = Instance.from_facts(
+            schema,
+            [
+                Fact(rel, (Const(f"v{i}"), Const(f"v{i + 1}")))
+                for i in range(50)
+            ],
+        )
+        rules = parse_tgds("E(x, y), E(y, z) -> E(x, z)", schema)
+        start = time.perf_counter()
+        result = chase(chain, rules, strategy=strategy)
+        elapsed = time.perf_counter() - start
+        assert result.successful
+        assert result.fired > 1000
+        assert len(result.instance.tuples("E")) == 50 * 51 // 2
+        assert elapsed < self.TIME_BUDGET_SECONDS, (
+            f"restricted chase hot loop regressed: {result.fired} "
+            f"triggers took {elapsed:.1f}s"
+        )
+
+
+class TestStrategyApi:
+    def test_unknown_strategy_rejected(self):
+        schema = Schema.of(("P", 1),)
+        with pytest.raises(ChaseError):
+            chase(
+                Instance.parse("P(a)", schema),
+                parse_tgds("P(x) -> P(x)", schema),
+                strategy="magic",
+            )
+
+    def test_strategies_exported(self):
+        from repro.chase import STRATEGIES
+
+        assert STRATEGIES == ("seminaive", "naive")
