@@ -78,6 +78,13 @@ from .rewriting import (
     rewrite,
 )
 from .omqa import CQ, UCQ, certain_answers as certain_cq_answers, rewrite_ucq
+from .search import (
+    CandidateSource,
+    SearchBudget,
+    SearchOutcome,
+    Verdict,
+    run_search,
+)
 from .synthesis import synthesize_full_tgds, synthesize_tgds
 
 __version__ = "1.0.0"
@@ -102,6 +109,8 @@ __all__ = [
     "RewriteResult", "frontier_guarded_to_guarded", "guarded_to_linear",
     "rewrite",
     "CQ", "UCQ", "certain_cq_answers", "rewrite_ucq",
+    "CandidateSource", "SearchBudget", "SearchOutcome", "Verdict",
+    "run_search",
     "synthesize_full_tgds", "synthesize_tgds",
     "__version__",
 ]

@@ -291,10 +291,9 @@ def _enumerate_triggers(
 
 
 def _combined_schema(instance: Instance, deps: Sequence[Dependency]) -> Schema:
-    schema = instance.schema
-    for dep in deps:
-        schema = schema.union(dep.schema)
-    return schema
+    return Schema.combined(
+        (instance.schema, *(dep.schema for dep in deps))
+    )
 
 
 def _fire_tgd(

@@ -85,6 +85,7 @@ from .rewriting import (
     guarded_vs_frontier_guarded_witness,
     verify_separation,
 )
+from .search import SearchBudget
 from .telemetry import (
     TELEMETRY,
     JSONLSink,
@@ -167,14 +168,23 @@ def _cmd_rewrite(args) -> int:
     tgds = [d for d in deps if isinstance(d, TGD)]
     if len(tgds) != len(deps):
         raise SystemExit("rewrite expects a pure tgd file")
-    if args.target == "linear":
-        result = guarded_to_linear(tgds, minimize=not args.no_minimize)
-    elif args.target == "guarded":
-        result = frontier_guarded_to_guarded(
-            tgds, minimize=not args.no_minimize
+    budget = None
+    if args.max_candidates is not None or args.max_seconds is not None:
+        budget = SearchBudget(
+            max_candidates=args.max_candidates,
+            max_seconds=args.max_seconds,
         )
+    search_kwargs = dict(
+        minimize=not args.no_minimize,
+        jobs=args.jobs,
+        search_budget=budget,
+    )
+    if args.target == "linear":
+        result = guarded_to_linear(tgds, **search_kwargs)
+    elif args.target == "guarded":
+        result = frontier_guarded_to_guarded(tgds, **search_kwargs)
     else:
-        result = rewrite(tgds, TGDClass.FULL, minimize=not args.no_minimize)
+        result = rewrite(tgds, TGDClass.FULL, **search_kwargs)
     print(result)
     return 0 if result.succeeded else 1
 
@@ -197,7 +207,7 @@ def _cmd_audit(args) -> int:
         LocalityMode.GUARDED,
         LocalityMode.FRONTIER_GUARDED,
     ):
-        print(locality_report(ontology, n, m, space, mode=mode))
+        print(locality_report(ontology, n, m, space, mode=mode, jobs=args.jobs))
     return 0
 
 
@@ -228,7 +238,7 @@ def _cmd_characterize(args) -> int:
     tgds = [d for d in deps if isinstance(d, TGD)]
     n, m = set_width(tgds)
     result = characterize(
-        ontology, n, m, max_domain_size=args.max_domain
+        ontology, n, m, max_domain_size=args.max_domain, jobs=args.jobs
     )
     print(result)
     return 0
@@ -300,6 +310,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--target", choices=("linear", "guarded", "full"), default="linear"
     )
     p.add_argument("--no-minimize", action="store_true")
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="decide candidates in N worker processes "
+             "(same output as N=1, see DESIGN.md §7)",
+    )
+    p.add_argument(
+        "--max-candidates", type=int, default=None, metavar="K",
+        help="search budget: stop after K candidates "
+             "(an exhausted budget reports 'inconclusive')",
+    )
+    p.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="search budget: stop the candidate scan after S seconds",
+    )
     p.set_defaults(func=_cmd_rewrite)
 
     p = sub.add_parser(
@@ -307,6 +331,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("rules")
     p.add_argument("--max-domain", type=int, default=1)
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parallelize the locality batteries over N processes",
+    )
     p.set_defaults(func=_cmd_audit)
 
     p = sub.add_parser(
@@ -324,6 +352,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("rules")
     p.add_argument("--max-domain", type=int, default=2)
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parallelize the locality batteries over N processes",
+    )
     p.set_defaults(func=_cmd_characterize)
 
     p = sub.add_parser(

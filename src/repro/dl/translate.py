@@ -143,10 +143,9 @@ class TBox:
         )
 
     def schema(self) -> Schema:
-        schema = Schema(())
-        for dep in self.dependencies():
-            schema = schema.union(dep.schema)
-        return schema
+        return Schema.combined(
+            dep.schema for dep in self.dependencies()
+        )
 
     def is_dl_lite(self) -> bool:
         """No ⊓ on any left-hand side — then every tgd is linear."""

@@ -58,9 +58,9 @@ def _freeze_body(
     else:
         frozen = {var: Const(f"@f_{var.name}") for var in body_vars}
 
-    schema = extra_schema
-    for dep in dependencies:
-        schema = schema.union(dep.schema)
+    schema = Schema.combined(
+        (extra_schema, *(dep.schema for dep in dependencies))
+    )
     track: Relation | None = None
     facts = [atom.to_fact(frozen) for atom in body]
     if body_vars:

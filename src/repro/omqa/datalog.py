@@ -113,9 +113,9 @@ def seminaive_chase(
     """
     tgds = list(tgds)
     _check_full(tgds)
-    schema = instance.schema
-    for tgd in tgds:
-        schema = schema.union(tgd.schema)
+    schema = Schema.combined(
+        (instance.schema, *(tgd.schema for tgd in tgds))
+    )
 
     store: dict[Relation, set[tuple]] = {
         rel: set(

@@ -36,6 +36,8 @@ from ..instances.neighbourhood import (
 from ..homomorphisms.search import find_homomorphism
 from ..lang.terms import element_sort_key
 from ..ontology.base import Ontology
+from ..search import CandidateSource, Verdict, run_search
+from ..search.kernel import DEFAULT_CHUNK_SIZE
 from .report import PropertyReport, failing, passing
 
 __all__ = [
@@ -60,6 +62,17 @@ class LocalityMode:
 
     def __str__(self) -> str:
         return self.name
+
+    def __reduce__(self):
+        # Modes are compared by identity (``mode is LocalityMode.X``);
+        # unpickling — e.g. inside a search worker — must resolve back
+        # to the canonical singleton, not build a fresh instance.
+        return (_locality_mode, (self.name,))
+
+
+def _locality_mode(name: str) -> "LocalityMode":
+    attribute = name.upper().replace("-", "_")
+    return getattr(LocalityMode, attribute)
 
 
 LocalityMode.GENERAL = LocalityMode("general")
@@ -180,6 +193,36 @@ def locally_embeddable(
     return True
 
 
+@dataclass(frozen=True)
+class _LocalityViolation:
+    """Kernel decider: accept instances that witness a locality failure
+    (a non-member the ontology is locally embeddable in).
+
+    A frozen dataclass over the check parameters so the parallel search
+    path can ship it to worker processes."""
+
+    ontology: Ontology
+    n: int
+    m: int
+    mode: LocalityMode
+    witness_extra: int | None
+    max_focus_size: int | None
+
+    def decide(self, instance: Instance) -> Verdict:
+        if self.ontology.contains(instance):
+            return Verdict.REJECT
+        embeddable = locally_embeddable(
+            self.ontology,
+            instance,
+            self.n,
+            self.m,
+            mode=self.mode,
+            witness_extra=self.witness_extra,
+            max_focus_size=self.max_focus_size,
+        )
+        return Verdict.ACCEPT if embeddable else Verdict.REJECT
+
+
 def locality_report(
     ontology: Ontology,
     n: int,
@@ -189,33 +232,38 @@ def locality_report(
     mode: LocalityMode = LocalityMode.GENERAL,
     witness_extra: int | None = None,
     max_focus_size: int | None = None,
+    jobs: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> PropertyReport:
     """Check (n, m)-locality over an explicit instance space: every
-    instance the ontology is locally embeddable in must be a member."""
-    checked = 0
-    for instance in instance_space:
-        checked += 1
-        if ontology.contains(instance):
-            continue
-        if locally_embeddable(
-            ontology,
-            instance,
-            n,
-            m,
-            mode=mode,
-            witness_extra=witness_extra,
-            max_focus_size=max_focus_size,
-        ):
-            return failing(
-                f"{mode} ({n}, {m})-locality",
-                instance,
-                checked=checked,
-                details=(
-                    "the ontology is locally embeddable in a non-member"
-                ),
-            )
+    instance the ontology is locally embeddable in must be a member.
+
+    The per-instance scan runs on the :mod:`repro.search` kernel in
+    first-counterexample mode; ``jobs > 1`` checks instances in worker
+    processes and still reports the *earliest* counterexample of the
+    space (the merge is order-preserving), so the report is independent
+    of ``jobs``."""
+    space = tuple(instance_space)
+    outcome = run_search(
+        CandidateSource.from_iterable(space, description="instance space"),
+        _LocalityViolation(
+            ontology, n, m, mode, witness_extra, max_focus_size
+        ),
+        jobs=jobs,
+        chunk_size=chunk_size,
+        stop_after_accepts=1,
+    )
+    if outcome.accepted:
+        return failing(
+            f"{mode} ({n}, {m})-locality",
+            outcome.accepted[0],
+            checked=outcome.considered,
+            details=(
+                "the ontology is locally embeddable in a non-member"
+            ),
+        )
     return passing(
         f"{mode} ({n}, {m})-locality",
-        checked=checked,
+        checked=outcome.considered,
         scope="given instance space",
     )

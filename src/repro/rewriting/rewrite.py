@@ -12,20 +12,36 @@ Entailment is chase-based (Section 9.2 / Maier–Mendelzon–Sagiv) and may
 be inconclusive on pathological inputs; inconclusive candidates are
 reported rather than guessed at (see :class:`RewriteResult.status`).
 
+The candidate scan itself runs on the :mod:`repro.search` kernel: the
+enumerators become resumable :class:`~repro.search.CandidateSource`
+streams, candidate entailment is an
+:class:`~repro.search.EntailmentDecider`, and ``jobs > 1`` fans the scan
+out over worker processes with a merge that keeps the result
+bit-identical to the sequential path.  ``search_budget`` bounds a run
+(candidates and/or wall-clock); a budget-stopped search degrades to
+``INCONCLUSIVE`` — never to a false ⊥ — and the result records that it
+was cut short.  ``prune_subsumed=True`` skips candidates already
+entailed by the accepted prefix: sound (a pruned candidate is a logical
+consequence of the kept set, so the verification step and the final
+semantics are unchanged) but it yields a different — smaller, still
+equivalent — pre-minimization set, so it is opt-in.
+
 Entailment calls go through the memo layer in
-:mod:`repro.entailment.cache`: the candidate loop, the verification
+:mod:`repro.entailment.cache`: the candidate scan, the verification
 pass, and especially :func:`minimize_tgds` (which re-decides
 ``rest ⊨ member`` over heavily overlapping subsets on every sweep) all
-share one canonicalized verdict cache.  ``RewriteResult.metrics``
-carries the ``entailment.cache_hits`` / ``entailment.cache_misses``
-deltas when telemetry is on.
+share one canonicalized verdict cache — per process; each search worker
+keeps its own, warm across the chunks it decides.
+``RewriteResult.metrics`` carries the ``entailment.cache_hits`` /
+``entailment.cache_misses`` deltas when telemetry is on, including the
+merged-back worker counts.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..dependencies.classes import TGDClass, all_in_class, in_class, set_width
 from ..dependencies.enumeration import (
@@ -37,6 +53,14 @@ from ..dependencies.enumeration import (
 from ..dependencies.tgd import TGD
 from ..entailment.implication import entails, entails_all
 from ..entailment.trivalent import TriBool
+from ..search import (
+    CandidateSource,
+    EntailmentDecider,
+    SearchBudget,
+    Verdict,
+    run_search,
+)
+from ..search.kernel import DEFAULT_CHUNK_SIZE
 from ..telemetry import TELEMETRY, MetricsProbe, span
 
 __all__ = [
@@ -62,11 +86,14 @@ class RewriteResult:
     ``status`` is ``success`` (an equivalent set was found and verified),
     ``failure`` (a definitive ⊥ — no equivalent set exists in the target
     class), or ``inconclusive`` (the chase budget left some candidate or
-    the final entailment check undecided).
+    the final entailment check undecided, or a search budget stopped the
+    scan before the space was drained — ``exhausted`` distinguishes the
+    latter).
 
     ``metrics`` is the telemetry counter delta observed during the run
     when telemetry was enabled (``{}`` otherwise): candidate, entailment,
-    chase, and homomorphism operation counts.
+    chase, and homomorphism operation counts (worker-side counts
+    included under ``jobs > 1``).
     """
 
     status: str
@@ -79,6 +106,9 @@ class RewriteResult:
     unknown_candidates: tuple[TGD, ...]
     elapsed_seconds: float
     metrics: Mapping[str, int] = field(default_factory=dict, compare=False)
+    pruned_candidates: int = 0
+    exhausted: bool = False
+    jobs: int = 1
 
     @property
     def succeeded(self) -> bool:
@@ -90,8 +120,11 @@ class RewriteResult:
             f"rewrite -> {self.target_class}: {self.status} "
             f"(n={n}, m={m}, {self.entailed_candidates}/"
             f"{self.candidates_considered} candidates entailed, "
+            f"{len(self.unknown_candidates)} unknown, "
             f"{self.elapsed_seconds:.3f}s)"
         )
+        if self.exhausted:
+            header += " [search budget exhausted]"
         if self.rewriting is not None:
             body = "\n".join(f"  {tgd}" for tgd in self.rewriting)
             return f"{header}\n{body}"
@@ -124,56 +157,86 @@ def minimize_tgds(
     return tuple(current)
 
 
+def _subsumption_prune(
+    max_rounds: int | None,
+) -> Callable[[TGD, Sequence[TGD]], bool]:
+    """Skip candidates the accepted prefix already entails (they add no
+    logical content; entailment transitivity keeps verification sound)."""
+
+    def prune(candidate: TGD, accepted: Sequence[TGD]) -> bool:
+        return bool(accepted) and entails(
+            accepted, candidate, max_rounds=max_rounds
+        ).is_true
+
+    return prune
+
+
 def _rewrite_with_candidates(
     source: Sequence[TGD],
     target_class: TGDClass,
-    candidates: Iterable[TGD],
+    candidates: CandidateSource,
     *,
     max_rounds: int | None,
     minimize: bool,
+    jobs: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    search_budget: SearchBudget | None = None,
+    prune_subsumed: bool = False,
 ) -> RewriteResult:
     start = time.perf_counter()
     source = tuple(source)
     width = set_width(source)
-    entailed: list[TGD] = []
-    unknown: list[TGD] = []
-    considered = 0
     probe = MetricsProbe()
+
+    def observe(candidate: TGD, verdict: Verdict) -> None:
+        if TELEMETRY.enabled:
+            TELEMETRY.count("rewrite.candidates_considered")
+            if verdict is Verdict.ACCEPT:
+                TELEMETRY.count("rewrite.candidates_entailed")
+            elif verdict is Verdict.UNKNOWN:
+                TELEMETRY.count("rewrite.candidates_unknown")
+
     with span(
         "rewrite", target=str(target_class), source_size=len(source)
     ) as sp:
         with span("rewrite.search"):
-            for candidate in candidates:
-                considered += 1
-                if TELEMETRY.enabled:
-                    TELEMETRY.count("rewrite.candidates_considered")
-                verdict = entails(source, candidate, max_rounds=max_rounds)
-                if verdict.is_true:
-                    entailed.append(candidate)
-                    if TELEMETRY.enabled:
-                        TELEMETRY.count("rewrite.candidates_entailed")
-                elif not verdict.is_definite:
-                    unknown.append(candidate)
-                    if TELEMETRY.enabled:
-                        TELEMETRY.count("rewrite.candidates_unknown")
+            outcome = run_search(
+                candidates,
+                EntailmentDecider(premises=source, max_rounds=max_rounds),
+                jobs=jobs,
+                chunk_size=chunk_size,
+                budget=search_budget,
+                prune=(
+                    _subsumption_prune(max_rounds) if prune_subsumed else None
+                ),
+                observe=observe,
+            )
+        entailed = list(outcome.accepted)
+        unknown = outcome.unknown
 
         def finish(
             status: str, rewriting: tuple[TGD, ...] | None
         ) -> RewriteResult:
-            sp.set(status=status, considered=considered)
+            sp.set(status=status, considered=outcome.considered)
             return RewriteResult(
                 status=status,
                 rewriting=rewriting,
                 source=source,
                 target_class=target_class,
                 width=width,
-                candidates_considered=considered,
+                candidates_considered=outcome.considered,
                 entailed_candidates=len(entailed),
-                unknown_candidates=tuple(unknown),
+                unknown_candidates=unknown,
                 elapsed_seconds=time.perf_counter() - start,
                 metrics=probe.delta(),
+                pruned_candidates=outcome.pruned,
+                exhausted=outcome.exhausted,
+                jobs=jobs,
             )
 
+        # A budget-stopped scan may have missed entailed candidates, so
+        # ⊥ is never definitive; SUCCESS still is, since verification
+        # only needs the candidates actually found.
         if entailed:
             with span("rewrite.verify", entailed=len(entailed)):
                 back = entails_all(
@@ -187,10 +250,10 @@ def _rewrite_with_candidates(
                             rewriting, max_rounds=max_rounds
                         )
                 return finish(RewriteStatus.SUCCESS, rewriting)
-            if not back.is_definite or unknown:
+            if not back.is_definite or unknown or outcome.exhausted:
                 return finish(RewriteStatus.INCONCLUSIVE, None)
             return finish(RewriteStatus.FAILURE, None)
-        if unknown:
+        if unknown or outcome.exhausted:
             return finish(RewriteStatus.INCONCLUSIVE, None)
         return finish(RewriteStatus.FAILURE, None)
 
@@ -202,6 +265,10 @@ def guarded_to_linear(
     max_rounds: int | None = None,
     minimize: bool = True,
     max_head_atoms: int | None = None,
+    jobs: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    search_budget: SearchBudget | None = None,
+    prune_subsumed: bool = False,
 ) -> RewriteResult:
     """Algorithm 1 (``G-to-L``): rewrite a guarded set into an equivalent
     linear set from ``LTGD_{n,m}``, or report ⊥.
@@ -214,8 +281,8 @@ def guarded_to_linear(
         raise ValueError("Algorithm 1 expects a set of guarded tgds")
     schema = schema or _combined_schema(source)
     n, m = set_width(source)
-    candidates = enumerate_linear_tgds(
-        schema, n, m, max_head_atoms=max_head_atoms
+    candidates = CandidateSource.from_enumerator(
+        enumerate_linear_tgds, schema, n, m, max_head_atoms=max_head_atoms
     )
     return _rewrite_with_candidates(
         source,
@@ -223,6 +290,10 @@ def guarded_to_linear(
         candidates,
         max_rounds=max_rounds,
         minimize=minimize,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        search_budget=search_budget,
+        prune_subsumed=prune_subsumed,
     )
 
 
@@ -234,6 +305,10 @@ def frontier_guarded_to_guarded(
     minimize: bool = True,
     max_extra_body_atoms: int | None = None,
     max_head_atoms: int | None = None,
+    jobs: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    search_budget: SearchBudget | None = None,
+    prune_subsumed: bool = False,
 ) -> RewriteResult:
     """Algorithm 2 (``FG-to-G``): rewrite a frontier-guarded set into an
     equivalent guarded set from ``GTGD_{n,m}``, or report ⊥.
@@ -245,7 +320,8 @@ def frontier_guarded_to_guarded(
         raise ValueError("Algorithm 2 expects frontier-guarded tgds")
     schema = schema or _combined_schema(source)
     n, m = set_width(source)
-    candidates = enumerate_guarded_tgds(
+    candidates = CandidateSource.from_enumerator(
+        enumerate_guarded_tgds,
         schema,
         n,
         m,
@@ -258,6 +334,10 @@ def frontier_guarded_to_guarded(
         candidates,
         max_rounds=max_rounds,
         minimize=minimize,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        search_budget=search_budget,
+        prune_subsumed=prune_subsumed,
     )
 
 
@@ -268,6 +348,10 @@ def rewrite(
     schema=None,
     max_rounds: int | None = None,
     minimize: bool = True,
+    jobs: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    search_budget: SearchBudget | None = None,
+    prune_subsumed: bool = False,
     **caps,
 ) -> RewriteResult:
     """Generic driver: rewrite into LINEAR, GUARDED, or FULL.
@@ -282,15 +366,21 @@ def rewrite(
     schema = schema or _combined_schema(source)
     n, m = set_width(source)
     if target_class is TGDClass.LINEAR:
-        candidates: Iterable[TGD] = enumerate_linear_tgds(
-            schema, n, m, **caps
+        candidates = CandidateSource.from_enumerator(
+            enumerate_linear_tgds, schema, n, m, **caps
         )
     elif target_class is TGDClass.GUARDED:
-        candidates = enumerate_guarded_tgds(schema, n, m, **caps)
+        candidates = CandidateSource.from_enumerator(
+            enumerate_guarded_tgds, schema, n, m, **caps
+        )
     elif target_class is TGDClass.FRONTIER_GUARDED:
-        candidates = enumerate_frontier_guarded_tgds(schema, n, m, **caps)
+        candidates = CandidateSource.from_enumerator(
+            enumerate_frontier_guarded_tgds, schema, n, m, **caps
+        )
     elif target_class is TGDClass.FULL:
-        candidates = enumerate_full_tgds(schema, n, **caps)
+        candidates = CandidateSource.from_enumerator(
+            enumerate_full_tgds, schema, n, **caps
+        )
     else:
         raise ValueError(f"unsupported rewrite target {target_class}")
     return _rewrite_with_candidates(
@@ -299,13 +389,14 @@ def rewrite(
         candidates,
         max_rounds=max_rounds,
         minimize=minimize,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        search_budget=search_budget,
+        prune_subsumed=prune_subsumed,
     )
 
 
 def _combined_schema(source: Sequence[TGD]):
     from ..lang.schema import Schema
 
-    schema = Schema(())
-    for tgd in source:
-        schema = schema.union(tgd.schema)
-    return schema
+    return Schema.combined(tgd.schema for tgd in source)

@@ -1,0 +1,41 @@
+"""``repro.search`` — the streaming candidate-search kernel.
+
+One engine behind Algorithms 1/2 (:mod:`repro.rewriting.rewrite`), the
+Theorem 4.1/5.6 synthesis pipelines (:mod:`repro.synthesis`), and the
+characterization batteries (:mod:`repro.properties`): pluggable
+:class:`CandidateSource` streams, pluggable deciders, a parallel driver
+with an order-preserving merge (``jobs`` never changes the outcome),
+resumable cursors, and budgets that degrade gracefully instead of
+hanging.  See DESIGN.md §7 for the architecture and the determinism
+contract.
+"""
+
+from .deciders import (
+    Decider,
+    EntailmentDecider,
+    PredicateDecider,
+    ValidityDecider,
+    Verdict,
+)
+from .kernel import (
+    DEFAULT_CHUNK_SIZE,
+    SearchBudget,
+    SearchOutcome,
+    run_search,
+)
+from .source import CandidateSource, Chunk, Cursor
+
+__all__ = [
+    "CandidateSource",
+    "Chunk",
+    "Cursor",
+    "Decider",
+    "DEFAULT_CHUNK_SIZE",
+    "EntailmentDecider",
+    "PredicateDecider",
+    "SearchBudget",
+    "SearchOutcome",
+    "ValidityDecider",
+    "Verdict",
+    "run_search",
+]

@@ -1,0 +1,123 @@
+"""Chunkable, resumable candidate sources.
+
+A :class:`CandidateSource` wraps a *deterministic* candidate generator —
+typically one of the :mod:`repro.dependencies.enumeration` enumerators —
+behind two guarantees the search kernel builds on:
+
+* **stable ordering** — the factory must yield the same candidates in
+  the same order on every call (the enumerators do: they iterate sorted
+  schemas and canonical patterns, never sets with nondeterministic
+  order);
+* **explicit cursors** — a :class:`Cursor` is a plain offset into that
+  stable order, so a run interrupted by a budget can be resumed exactly
+  where it stopped, and a chunk of work is fully identified by
+  ``(source, cursor, length)``.
+
+The factory runs only in the coordinating process; workers receive
+materialized chunks, never the generator itself, so sources do not need
+to be picklable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+__all__ = ["Cursor", "Chunk", "CandidateSource"]
+
+
+@dataclass(frozen=True)
+class Cursor:
+    """A resume point: how many candidates of the stable order have
+    already been consumed."""
+
+    offset: int = 0
+
+    def advance(self, count: int) -> "Cursor":
+        return Cursor(self.offset + count)
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous slice of the candidate stream.
+
+    ``start.offset + len(items)`` is the cursor of the next chunk, so a
+    chunk is self-describing for resumption and for the kernel's
+    order-preserving merge (chunks are merged by ascending ``index``).
+    """
+
+    index: int
+    start: Cursor
+    items: tuple
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class CandidateSource:
+    """A deterministic candidate stream with offset-based resumption.
+
+    ``factory`` is called anew for every traversal; pass a callable that
+    rebuilds the generator (e.g. ``lambda: enumerate_linear_tgds(...)``)
+    for a resumable source.  :meth:`from_iterable` wraps an existing
+    sequence; generators wrapped this way support a single traversal
+    only (documented, not enforced — re-traversal of a spent generator
+    yields nothing).
+    """
+
+    __slots__ = ("_factory", "description")
+
+    def __init__(
+        self, factory: Callable[[], Iterable], *, description: str = ""
+    ):
+        self._factory = factory
+        self.description = description
+
+    @classmethod
+    def from_iterable(
+        cls, iterable: Iterable, *, description: str = ""
+    ) -> "CandidateSource":
+        """Wrap a sequence (resumable) or generator (single traversal)."""
+        return cls(lambda: iterable, description=description)
+
+    @classmethod
+    def from_enumerator(
+        cls, enumerator: Callable[..., Iterable], *args, **kwargs
+    ) -> "CandidateSource":
+        """A resumable source that re-invokes ``enumerator(*args,
+        **kwargs)`` on every traversal — the natural wrapper for the
+        :mod:`repro.dependencies.enumeration` generators."""
+        return cls(
+            lambda: enumerator(*args, **kwargs),
+            description=getattr(enumerator, "__name__", repr(enumerator)),
+        )
+
+    def iterate(self, cursor: Cursor = Cursor()) -> Iterator:
+        """Candidates from ``cursor`` onwards, in the stable order."""
+        iterator = iter(self._factory())
+        if cursor.offset:
+            iterator = itertools.islice(iterator, cursor.offset, None)
+        return iterator
+
+    def chunks(
+        self, size: int, cursor: Cursor = Cursor()
+    ) -> Iterator[Chunk]:
+        """Consecutive :class:`Chunk` slices of ``size`` candidates
+        (the last may be shorter), starting at ``cursor``."""
+        if size <= 0:
+            raise ValueError("chunk size must be positive")
+        iterator = self.iterate(cursor)
+        index = 0
+        offset = cursor.offset
+        while True:
+            items = tuple(itertools.islice(iterator, size))
+            if not items:
+                return
+            yield Chunk(index=index, start=Cursor(offset), items=items)
+            index += 1
+            offset += len(items)
+
+    def __repr__(self) -> str:
+        label = self.description or "anonymous"
+        return f"CandidateSource({label})"

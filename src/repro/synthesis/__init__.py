@@ -12,11 +12,12 @@ from .tgd_synthesis import (
     synthesize_tgds,
     synthesize_via_edds,
     valid_in_ontology,
+    verify_axiomatization,
 )
 
 __all__ = [
     "FullSynthesisResult", "diagram_dd", "synthesize_full_tgds",
     "synthesize_full_via_diagrams",
     "EddSynthesisResult", "SynthesisResult", "synthesize_tgds",
-    "synthesize_via_edds", "valid_in_ontology",
+    "synthesize_via_edds", "valid_in_ontology", "verify_axiomatization",
 ]

@@ -26,6 +26,9 @@ from ..instances.instance import Instance
 from ..lang.atoms import Atom
 from ..lang.terms import Var, element_sort_key
 from ..ontology.base import Ontology
+from ..search import CandidateSource, ValidityDecider, run_search
+from ..search.kernel import DEFAULT_CHUNK_SIZE
+from .tgd_synthesis import verify_axiomatization
 
 __all__ = ["FullSynthesisResult", "diagram_dd", "synthesize_full_tgds", "synthesize_full_via_diagrams"]
 
@@ -88,38 +91,45 @@ def synthesize_full_tgds(
     verify_domain_bound: int = 2,
     max_body_atoms: int | None = 2,
     max_disjuncts: int = 2,
+    jobs: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> FullSynthesisResult:
     """Run the Theorem 5.6 pipeline over the dd fragment with the given
-    caps and validate over a bounded instance space."""
-    members = list(ontology.members(member_domain_bound))
-    candidates = list(
-        enumerate_dds(
+    caps and validate over a bounded instance space.
+
+    The dd scan and the validation sweep both run on the
+    :mod:`repro.search` kernel (``jobs > 1`` fans them out without
+    changing the result)."""
+    members = tuple(ontology.members(member_domain_bound))
+    outcome = run_search(
+        CandidateSource.from_enumerator(
+            enumerate_dds,
             ontology.schema,
             n,
             max_body_atoms=max_body_atoms,
             max_disjuncts=max_disjuncts,
-        )
+        ),
+        ValidityDecider(members),
+        jobs=jobs,
+        chunk_size=chunk_size,
     )
-    sigma_vee = tuple(
-        dd
-        for dd in candidates
-        if all(dd.satisfied_by(member) for member in members)
-    )
+    sigma_vee = outcome.accepted
     full_tgds = tuple(
         dd.as_tgd() for dd in sigma_vee if dd.is_tgd
     )
-    mismatches = []
-    for candidate in all_instances_up_to(ontology.schema, verify_domain_bound):
-        in_ontology = ontology.contains(candidate)
-        satisfies = all(tgd.satisfied_by(candidate) for tgd in full_tgds)
-        if in_ontology != satisfies:
-            mismatches.append(candidate)
+    verified, mismatches = verify_axiomatization(
+        ontology,
+        full_tgds,
+        verify_domain_bound,
+        jobs=jobs,
+        chunk_size=chunk_size,
+    )
     return FullSynthesisResult(
         sigma_vee=sigma_vee,
         full_tgds=full_tgds,
-        candidates_considered=len(candidates),
-        verified=not mismatches,
-        mismatches=tuple(mismatches),
+        candidates_considered=outcome.considered,
+        verified=verified,
+        mismatches=mismatches,
     )
 
 

@@ -19,12 +19,20 @@ are provided:
   skipping the disjunctive detour);
 * ``synthesize_via_edds`` — follow Steps 1→3 literally over an
   ``E_{n,m}`` fragment, exposing ``Σ^∨`` and ``Σ^{∃,=}`` as well.
+
+Both candidate scans (and the final validation sweep) run on the
+:mod:`repro.search` kernel: the enumerators are wrapped as resumable
+sources, validity-in-the-ontology is a
+:class:`~repro.search.ValidityDecider` over the materialized bounded
+member space, and ``jobs > 1`` decides candidates in worker processes —
+the kept set is bit-identical to the sequential scan because the kernel
+merges verdicts in enumeration order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..dependencies.edd import EDD
 from ..dependencies.enumeration import enumerate_edds, enumerate_tgds
@@ -33,8 +41,22 @@ from ..instances.enumeration import all_instances_up_to
 from ..instances.instance import Instance
 from ..ontology.base import Ontology
 from ..ontology.axiomatic import AxiomaticOntology
+from ..search import (
+    CandidateSource,
+    PredicateDecider,
+    ValidityDecider,
+    run_search,
+)
+from ..search.kernel import DEFAULT_CHUNK_SIZE
 
-__all__ = ["SynthesisResult", "valid_in_ontology", "synthesize_tgds", "EddSynthesisResult", "synthesize_via_edds"]
+__all__ = [
+    "SynthesisResult",
+    "valid_in_ontology",
+    "synthesize_tgds",
+    "EddSynthesisResult",
+    "synthesize_via_edds",
+    "verify_axiomatization",
+]
 
 
 @dataclass(frozen=True)
@@ -66,18 +88,42 @@ def valid_in_ontology(
     )
 
 
-def _verify(
+@dataclass(frozen=True)
+class _Mismatch:
+    """Accept instances on which the candidate dependencies disagree
+    with the ontology oracle (used as a kernel predicate, so it must be
+    a picklable module-level type)."""
+
+    ontology: Ontology
+    dependencies: tuple
+
+    def __call__(self, candidate: Instance) -> bool:
+        in_ontology = self.ontology.contains(candidate)
+        satisfies = all(
+            dep.satisfied_by(candidate) for dep in self.dependencies
+        )
+        return in_ontology != satisfies
+
+
+def verify_axiomatization(
     ontology: Ontology,
     dependencies: Sequence,
     verify_domain_bound: int,
+    *,
+    jobs: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> tuple[bool, tuple[Instance, ...]]:
-    mismatches = []
-    for candidate in all_instances_up_to(ontology.schema, verify_domain_bound):
-        in_ontology = ontology.contains(candidate)
-        satisfies = all(dep.satisfied_by(candidate) for dep in dependencies)
-        if in_ontology != satisfies:
-            mismatches.append(candidate)
-    return (not mismatches, tuple(mismatches))
+    """Compare the models of ``dependencies`` with the ontology over the
+    bounded instance space; returns ``(verified, mismatches)``."""
+    outcome = run_search(
+        CandidateSource.from_enumerator(
+            all_instances_up_to, ontology.schema, verify_domain_bound
+        ),
+        PredicateDecider(_Mismatch(ontology, tuple(dependencies))),
+        jobs=jobs,
+        chunk_size=chunk_size,
+    )
+    return (not outcome.accepted, outcome.accepted)
 
 
 def synthesize_tgds(
@@ -89,6 +135,8 @@ def synthesize_tgds(
     verify_domain_bound: int = 2,
     max_body_atoms: int | None = 2,
     max_head_atoms: int | None = None,
+    jobs: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> SynthesisResult:
     """Produce the ``Σ^∃ ∈ TGD_{n,m}`` of Theorem 4.1 directly.
 
@@ -98,25 +146,27 @@ def synthesize_tgds(
     properties of Theorem 4.1 for these (n, m), verification succeeds on
     every bound.
     """
-    candidates = list(
-        enumerate_tgds(
+    members = tuple(ontology.members(member_domain_bound))
+    outcome = run_search(
+        CandidateSource.from_enumerator(
+            enumerate_tgds,
             ontology.schema,
             n,
             m,
             max_body_atoms=max_body_atoms,
             max_head_atoms=max_head_atoms,
-        )
+        ),
+        ValidityDecider(members),
+        jobs=jobs,
+        chunk_size=chunk_size,
     )
-    members = list(ontology.members(member_domain_bound))
-    kept = tuple(
-        tgd
-        for tgd in candidates
-        if all(tgd.satisfied_by(member) for member in members)
+    kept = outcome.accepted
+    verified, mismatches = verify_axiomatization(
+        ontology, kept, verify_domain_bound, jobs=jobs, chunk_size=chunk_size
     )
-    verified, mismatches = _verify(ontology, kept, verify_domain_bound)
     return SynthesisResult(
         tgds=kept,
-        candidates_considered=len(candidates),
+        candidates_considered=outcome.considered,
         verified=verified,
         mismatches=mismatches,
     )
@@ -144,42 +194,48 @@ def synthesize_via_edds(
     max_body_atoms: int | None = 1,
     max_disjuncts: int = 2,
     max_atoms_per_disjunct: int = 1,
+    jobs: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> EddSynthesisResult:
     """Steps 1–3 of the proof of Theorem 4.1 over an ``E_{n,m}`` fragment.
 
     ``Σ^∨`` = valid edds; ``Σ^{∃,=}`` = its tgds + egds; ``Σ^∃`` = its
     tgds.  Validation compares the models of ``Σ^∃`` with the ontology.
     """
-    members = list(ontology.members(member_domain_bound))
-    candidates = list(
-        enumerate_edds(
+    members = tuple(ontology.members(member_domain_bound))
+    outcome = run_search(
+        CandidateSource.from_enumerator(
+            enumerate_edds,
             ontology.schema,
             n,
             m,
             max_body_atoms=max_body_atoms,
             max_disjuncts=max_disjuncts,
             max_atoms_per_disjunct=max_atoms_per_disjunct,
-        )
+        ),
+        ValidityDecider(members),
+        jobs=jobs,
+        chunk_size=chunk_size,
     )
-    sigma_vee = tuple(
-        edd
-        for edd in candidates
-        if all(edd.satisfied_by(member) for member in members)
-    )
+    sigma_vee = outcome.accepted
     sigma_exists_eq = tuple(
         edd for edd in sigma_vee if edd.is_tgd or edd.is_egd
     )
     sigma_exists = tuple(
         edd.as_tgd() for edd in sigma_exists_eq if edd.is_tgd
     )
-    verified, mismatches = _verify(
-        ontology, sigma_exists, verify_domain_bound
+    verified, mismatches = verify_axiomatization(
+        ontology,
+        sigma_exists,
+        verify_domain_bound,
+        jobs=jobs,
+        chunk_size=chunk_size,
     )
     return EddSynthesisResult(
         sigma_vee=sigma_vee,
         sigma_exists_eq=sigma_exists_eq,
         sigma_exists=sigma_exists,
-        candidates_considered=len(candidates),
+        candidates_considered=outcome.considered,
         verified=verified,
         mismatches=mismatches,
     )

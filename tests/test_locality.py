@@ -198,3 +198,32 @@ class TestLocalityImplications:
             ontology, with_p, 1, 0, mode=LocalityMode.LINEAR,
             witness_extra=2,
         )
+
+
+class TestParallelLocality:
+    """locality_report rides the search kernel in first-counterexample
+    mode; the report must not depend on jobs."""
+
+    def test_jobs_parity_on_passing_battery(self):
+        ontology = axiomatic("R(x) -> P(x)", UNARY3)
+        space = list(all_instances_up_to(UNARY3, 1))
+        sequential = locality_report(ontology, 1, 0, space)
+        parallel = locality_report(ontology, 1, 0, space, jobs=2)
+        assert sequential.holds and parallel.holds
+        assert parallel.checked == sequential.checked
+
+    def test_jobs_parity_reports_earliest_counterexample(self):
+        # Σ_G of Section 9.1 is not linear-local; both paths must flag
+        # the same (earliest) witness instance.
+        ontology = axiomatic("R(x), P(x) -> T(x)", UNARY3)
+        space = list(all_instances_up_to(UNARY3, 1))
+        sequential = locality_report(
+            ontology, 1, 0, space, mode=LocalityMode.LINEAR
+        )
+        parallel = locality_report(
+            ontology, 1, 0, space, mode=LocalityMode.LINEAR, jobs=2,
+            chunk_size=2,
+        )
+        assert not sequential.holds and not parallel.holds
+        assert parallel.counterexample == sequential.counterexample
+        assert parallel.checked == sequential.checked

@@ -129,6 +129,110 @@ class TestGenericDriver:
             rewrite(sigma, TGDClass.TGD)
 
 
+class TestGenericDriverCaps:
+    """The cap kwargs flow through `rewrite()` into the enumerators,
+    shrinking the candidate space (and possibly the answer)."""
+
+    def test_guarded_target_extra_body_cap(self):
+        # Σ_G needs its own two-atom body as a candidate: with no extra
+        # body atoms the guarded fragment degenerates to linear rules,
+        # where Σ_G provably has no equivalent.
+        sigma = parse_tgds("R(x), P(x) -> T(x)", UNARY3)
+        starved = rewrite(
+            sigma, TGDClass.GUARDED, schema=UNARY3,
+            max_extra_body_atoms=0,
+        )
+        assert starved.status == RewriteStatus.FAILURE
+        generous = rewrite(
+            sigma, TGDClass.GUARDED, schema=UNARY3,
+            max_extra_body_atoms=1,
+        )
+        assert generous.succeeded
+        assert equivalent(generous.rewriting, sigma).is_true
+
+    def test_full_target_body_cap(self):
+        # Example 5.2: σ joins two atoms; a one-atom body cap removes
+        # every candidate that could express the join.
+        schema = Schema.of(("R", 2), ("S", 2), ("T", 2))
+        sigma = parse_tgds("R(x, y), S(y, z) -> T(x, z)", schema)
+        starved = rewrite(
+            sigma, TGDClass.FULL, schema=schema, max_body_atoms=1
+        )
+        assert starved.status == RewriteStatus.FAILURE
+        generous = rewrite(
+            sigma, TGDClass.FULL, schema=schema, max_body_atoms=2
+        )
+        assert generous.succeeded
+        assert equivalent(generous.rewriting, sigma).is_true
+
+    def test_frontier_guarded_target_caps(self):
+        sigma = parse_tgds("V(x) -> exists z . E(x, z)", BINARY)
+        result = rewrite(
+            sigma, TGDClass.FRONTIER_GUARDED, schema=BINARY,
+            max_body_atoms=1, max_head_atoms=1,
+        )
+        assert result.succeeded
+        assert all_in_class(result.rewriting, TGDClass.FRONTIER_GUARDED)
+        assert equivalent(result.rewriting, sigma).is_true
+
+    def test_linear_target_head_cap(self):
+        sigma = parse_tgds("V(x) -> exists z . E(x, z)", BINARY)
+        result = rewrite(
+            sigma, TGDClass.LINEAR, schema=BINARY, max_head_atoms=1
+        )
+        assert result.succeeded
+        assert all_in_class(result.rewriting, TGDClass.LINEAR)
+
+
+class TestSearchIntegration:
+    """`rewrite()` rides the repro.search kernel: budgets surface as
+    INCONCLUSIVE + exhausted, jobs>1 changes nothing, and the result
+    string reports the unknown-candidate count."""
+
+    def test_search_budget_degrades_to_inconclusive(self):
+        from repro.search import SearchBudget
+
+        sigma = parse_tgds("R(x) -> P(x)\nR(x), P(x) -> T(x)", UNARY3)
+        result = guarded_to_linear(
+            sigma, schema=UNARY3,
+            search_budget=SearchBudget(max_candidates=3),
+        )
+        assert result.status == RewriteStatus.INCONCLUSIVE
+        assert result.exhausted
+        assert result.candidates_considered == 3
+        assert "[search budget exhausted]" in str(result)
+
+    def test_jobs_do_not_change_the_result(self):
+        sigma = parse_tgds("R(x) -> P(x)\nR(x), P(x) -> T(x)", UNARY3)
+        sequential = guarded_to_linear(sigma, schema=UNARY3)
+        parallel = guarded_to_linear(sigma, schema=UNARY3, jobs=2)
+        assert parallel.status == sequential.status
+        assert parallel.rewriting == sequential.rewriting
+        assert (
+            parallel.candidates_considered
+            == sequential.candidates_considered
+        )
+        assert parallel.jobs == 2 and sequential.jobs == 1
+
+    def test_prune_subsumed_shrinks_work_not_the_answer(self):
+        sigma = parse_tgds("R(x) -> P(x)\nR(x), P(x) -> T(x)", UNARY3)
+        plain = guarded_to_linear(sigma, schema=UNARY3)
+        pruned = guarded_to_linear(
+            sigma, schema=UNARY3, prune_subsumed=True
+        )
+        assert pruned.succeeded
+        assert pruned.pruned_candidates > 0
+        assert equivalent(pruned.rewriting, plain.rewriting).is_true
+
+    def test_str_reports_unknown_count(self):
+        sigma = parse_tgds("R(x) -> T(x)", UNARY3)
+        solid = guarded_to_linear(sigma, schema=UNARY3)
+        assert "0 unknown" in str(solid)
+        starved = guarded_to_linear(sigma, schema=UNARY3, max_rounds=0)
+        assert f"{len(starved.unknown_candidates)} unknown" in str(starved)
+        assert len(starved.unknown_candidates) > 0
+
+
 class TestMinimize:
     def test_redundant_member_dropped(self):
         sigma = parse_tgds(

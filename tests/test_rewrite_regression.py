@@ -88,6 +88,69 @@ class TestExample52FullRewrite:
         assert canonical_set(result.rewriting) == canonical_set(sigma)
 
 
+class TestParallelParity:
+    """The repro.search determinism contract, on the pinned inputs: a
+    jobs=4 run must reproduce the jobs=1 run bit for bit — status,
+    rewriting, and the number of candidates consumed."""
+
+    @staticmethod
+    def assert_parity(sequential, parallel):
+        assert parallel.status == sequential.status
+        if sequential.rewriting is None:
+            assert parallel.rewriting is None
+        else:
+            # not just canonically equal: the exact same tuple
+            assert parallel.rewriting == sequential.rewriting
+        assert parallel.unknown_candidates == sequential.unknown_candidates
+        assert (
+            parallel.candidates_considered
+            == sequential.candidates_considered
+        )
+        assert (
+            parallel.entailed_candidates == sequential.entailed_candidates
+        )
+
+    def test_e9_positive(self):
+        sigma = parse_tgds("R(x) -> P(x)\nR(x), P(x) -> T(x)", UNARY3)
+        self.assert_parity(
+            guarded_to_linear(sigma, schema=UNARY3),
+            guarded_to_linear(sigma, schema=UNARY3, jobs=4),
+        )
+
+    def test_e9_negative(self):
+        sigma = parse_tgds("R(x), P(x) -> T(x)", UNARY3)
+        self.assert_parity(
+            guarded_to_linear(sigma, schema=UNARY3),
+            guarded_to_linear(sigma, schema=UNARY3, jobs=4),
+        )
+
+    def test_e10_positive(self):
+        sigma = parse_tgds("R(x) -> P(x)\nR(x), P(y) -> T(x)", UNARY3)
+        self.assert_parity(
+            frontier_guarded_to_guarded(sigma, schema=UNARY3),
+            frontier_guarded_to_guarded(sigma, schema=UNARY3, jobs=4),
+        )
+
+    def test_e10_negative(self):
+        sigma = parse_tgds("R(x), P(y) -> T(x)", UNARY3)
+        self.assert_parity(
+            frontier_guarded_to_guarded(sigma, schema=UNARY3),
+            frontier_guarded_to_guarded(sigma, schema=UNARY3, jobs=4),
+        )
+
+    def test_example_52_full(self, binary_schema):
+        sigma = parse_tgds("R(x, y), S(y, z) -> T(x, z)", binary_schema)
+        sequential = rewrite(
+            sigma, TGDClass.FULL, schema=binary_schema, max_body_atoms=2
+        )
+        parallel = rewrite(
+            sigma, TGDClass.FULL, schema=binary_schema, max_body_atoms=2,
+            jobs=4,
+        )
+        self.assert_parity(sequential, parallel)
+        assert canonical_set(parallel.rewriting) == canonical_set(sigma)
+
+
 class TestRewriteResultShape:
     """The result surface the benches consume must be stable too."""
 

@@ -68,6 +68,33 @@ class TestSchema:
         with pytest.raises(SchemaError):
             Schema.of(("R", 1)).union(Schema.of(("R", 2)))
 
+    def test_combined_matches_folded_union(self):
+        parts = [
+            Schema.of(("R", 1)),
+            Schema.of(("R", 1), ("S", 2)),
+            Schema.of(("T", 3)),
+        ]
+        folded = parts[0]
+        for part in parts[1:]:
+            folded = folded.union(part)
+        assert Schema.combined(parts) == folded
+
+    def test_combined_deduplicates_repeats(self):
+        schema = Schema.of(("R", 1), ("S", 2))
+        assert Schema.combined([schema] * 5) == schema
+
+    def test_combined_of_nothing_is_empty(self):
+        assert Schema.combined([]) == Schema(())
+        assert len(Schema.combined(())) == 0
+
+    def test_combined_accepts_a_generator(self):
+        parts = (Schema.of(("R", 1)), Schema.of(("S", 2)))
+        assert len(Schema.combined(p for p in parts)) == 2
+
+    def test_combined_conflict_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.combined([Schema.of(("R", 1)), Schema.of(("R", 2))])
+
     def test_contains_relation_and_name(self):
         schema = Schema.of(("R", 2))
         assert Relation("R", 2) in schema

@@ -157,3 +157,47 @@ class TestDiagramBasedFullSynthesis:
             ontology, 1, verify_domain_bound=2
         )
         assert not verified  # not an FTGD-ontology
+
+
+class TestParallelSynthesis:
+    """The pipelines ride the repro.search kernel; jobs>1 must be
+    invisible in every result field."""
+
+    def test_direct_synthesis_jobs_parity(self):
+        ontology = axiomatic("R(x) -> S(x)")
+        sequential = synthesize_tgds(ontology, 1, 0)
+        parallel = synthesize_tgds(ontology, 1, 0, jobs=2, chunk_size=8)
+        assert parallel.tgds == sequential.tgds
+        assert (
+            parallel.candidates_considered
+            == sequential.candidates_considered
+        )
+        assert parallel.verified == sequential.verified
+        assert parallel.mismatches == sequential.mismatches
+
+    def test_edd_pipeline_jobs_parity(self):
+        ontology = axiomatic("R(x) -> S(x)")
+        sequential = synthesize_via_edds(ontology, 1, 0)
+        parallel = synthesize_via_edds(ontology, 1, 0, jobs=2)
+        assert parallel.sigma_vee == sequential.sigma_vee
+        assert parallel.sigma_exists_eq == sequential.sigma_exists_eq
+        assert parallel.sigma_exists == sequential.sigma_exists
+        assert parallel.verified == sequential.verified
+
+    def test_full_synthesis_jobs_parity(self):
+        ontology = axiomatic("R(x) -> S(x)")
+        sequential = synthesize_full_tgds(ontology, 1)
+        parallel = synthesize_full_tgds(ontology, 1, jobs=2)
+        assert parallel.sigma_vee == sequential.sigma_vee
+        assert parallel.full_tgds == sequential.full_tgds
+        assert parallel.verified == sequential.verified
+
+    def test_verify_axiomatization_exposed(self):
+        from repro.synthesis import verify_axiomatization
+
+        ontology = axiomatic("R(x) -> S(x)")
+        rules = tuple(parse_tgds("R(x) -> S(x)", SCHEMA))
+        ok, mismatches = verify_axiomatization(ontology, rules, 2)
+        assert ok and mismatches == ()
+        ok, mismatches = verify_axiomatization(ontology, (), 2)
+        assert not ok and mismatches
