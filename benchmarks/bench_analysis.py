@@ -1,0 +1,161 @@
+"""Analysis bench — lint throughput over random tgd families, the
+certificate memo (one lattice analysis vs a position-graph rebuild per
+`entails` call), and the before/after of certificate-gated budget
+skipping: on a weakly acyclic family the gated and legacy paths must be
+bit-identical while the gated path answers from the memo.
+
+The determinism/identity claims are asserted, not just timed, so this
+bench doubles as the EXPERIMENTS.md evidence for the gating contract.
+"""
+
+import random
+
+import pytest
+
+from conftest import record
+
+from repro import Schema, entails, parse_tgds, run_lint
+from repro.analysis import (
+    certificate_for,
+    certificate_gating,
+    clear_certificate_cache,
+)
+from repro.telemetry import TELEMETRY, MemorySink, counter_delta
+from repro.workloads import random_schema, random_tgd_set
+
+
+@pytest.fixture(autouse=True)
+def _cold_certificate_cache():
+    clear_certificate_cache()
+    yield
+    clear_certificate_cache()
+
+
+def lint_family(rng: random.Random, rules: int):
+    schema = random_schema(rng, relations=4, max_arity=3)
+    return random_tgd_set(
+        rng,
+        schema,
+        rules,
+        body_atoms=2,
+        head_atoms=2,
+        body_variables=3,
+        existential_variables=1,
+    )
+
+
+@pytest.mark.parametrize("rules", [4, 8, 16])
+def test_lint_throughput(benchmark, rules):
+    sigma = lint_family(random.Random(7), rules)
+    report = benchmark(run_lint, sigma, entailment=False)
+    record(
+        f"lint findings[{rules} rules]",
+        "deterministic",
+        len(report.diagnostics),
+    )
+    assert report.diagnostics == run_lint(sigma, entailment=False).diagnostics
+
+
+def test_lint_with_entailment(benchmark):
+    sigma = lint_family(random.Random(11), 6)
+    report = benchmark(run_lint, sigma)
+    assert report.diagnostics  # fragment findings at minimum
+
+
+def test_certificate_analysis_cost(benchmark):
+    sigma = lint_family(random.Random(13), 12)
+
+    def analyze():
+        clear_certificate_cache()
+        return certificate_for(sigma).certificate
+
+    certificate = benchmark(analyze)
+    record("certificate[12 random rules]", "lattice member", certificate)
+
+
+# --- certificate-gated budget skipping --------------------------------
+
+WA_SCHEMA = Schema.of(("E", 2), ("P", 1), ("Q", 1))
+
+# A weakly acyclic family: a chain of full rules plus one invention that
+# never feeds back.  `entails` consults `default_budget` once per call.
+WA_FAMILY = parse_tgds(
+    "E(x, y) -> P(x)\n"
+    "P(x) -> Q(x)\n"
+    "Q(x) -> exists z . E(x, z)\n"
+    "E(x, y), E(y, z) -> P(y)",
+    Schema.of(("E", 2), ("P", 1), ("Q", 1)),
+)
+WA_CONCLUSION = parse_tgds("E(x, y) -> Q(x)", WA_SCHEMA)[0]
+
+
+def _entail_batch():
+    # cache=False so every call pays the budget decision + chase.
+    return tuple(
+        entails(WA_FAMILY, conclusion, cache=False)
+        for conclusion in (
+            WA_CONCLUSION,
+            parse_tgds("E(x, y) -> P(x)", WA_SCHEMA)[0],
+            parse_tgds("P(x) -> exists z . E(x, z)", WA_SCHEMA)[0],
+        )
+    )
+
+
+@pytest.mark.parametrize("gated", [True, False])
+def test_entailment_budget_skipping(benchmark, gated):
+    """Before/after: gating answers the budget question from the memo
+    (one lattice analysis ever), the legacy path rebuilds the position
+    graph on every call — and the verdicts are bit-identical."""
+    clear_certificate_cache()
+    with certificate_gating(gated):
+        verdicts = benchmark(_entail_batch)
+    with certificate_gating(not gated):
+        reference = _entail_batch()
+    assert verdicts == reference, "gating changed an engine verdict"
+    record(
+        f"entails verdicts[gated={gated}]",
+        "bit-identical",
+        tuple(str(v) for v in verdicts),
+    )
+
+
+def test_gated_path_memoizes_the_analysis():
+    """Counter evidence for the skip: N entailment calls cost one
+    certificate analysis when gated, N position-graph builds when not."""
+    sink = MemorySink()
+    calls = 5
+
+    clear_certificate_cache()
+    TELEMETRY.reset()
+    TELEMETRY.enable(sink)
+    with certificate_gating(True):
+        for __ in range(calls):
+            _entail_batch()
+    gated = TELEMETRY.snapshot()
+    TELEMETRY.disable()
+
+    clear_certificate_cache()
+    TELEMETRY.reset()
+    TELEMETRY.enable(sink)
+    with certificate_gating(False):
+        for __ in range(calls):
+            _entail_batch()
+    legacy = TELEMETRY.snapshot()
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+    computed = gated.get("analysis.certificates_computed", 0)
+    gated_builds = gated.get("analysis.position_graph_builds", 0)
+    legacy_builds = legacy.get("analysis.position_graph_builds", 0)
+    dropped = gated.get("chase.certificate", 0)
+
+    record("certificate analyses (gated)", "1", computed)
+    record(
+        "position graphs built",
+        "gated << legacy",
+        (gated_builds, legacy_builds),
+    )
+    assert computed == 1
+    assert dropped == calls * 3  # every call dropped its budget
+    assert gated_builds < legacy_builds
+    assert legacy_builds >= calls * 3  # one rebuild per legacy call

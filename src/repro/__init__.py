@@ -20,6 +20,19 @@ See ``examples/`` for end-to-end walkthroughs and ``DESIGN.md`` for the
 paper-to-module map.
 """
 
+from .analysis import (
+    Certificate,
+    CertificateReport,
+    Diagnostic,
+    LintReport,
+    Severity,
+    certificate_for,
+    certificate_gating,
+    is_jointly_acyclic,
+    is_super_weakly_acyclic,
+    run_lint,
+    set_certificate_gating,
+)
 from .chase import ChaseResult, StopReason, chase, is_weakly_acyclic
 from .dependencies import (
     EDD,
@@ -72,6 +85,7 @@ from .properties import (
     product_closure_report,
 )
 from .rewriting import (
+    PreflightError,
     RewriteResult,
     frontier_guarded_to_guarded,
     guarded_to_linear,
@@ -90,6 +104,9 @@ from .synthesis import synthesize_full_tgds, synthesize_tgds
 __version__ = "1.0.0"
 
 __all__ = [
+    "Certificate", "CertificateReport", "Diagnostic", "LintReport", "Severity",
+    "certificate_for", "certificate_gating", "is_jointly_acyclic",
+    "is_super_weakly_acyclic", "run_lint", "set_certificate_gating",
     "ChaseResult", "StopReason", "chase", "is_weakly_acyclic",
     "EDD", "EGD", "TGD", "DenialConstraint", "DependencyError", "EqualityDisjunct",
     "ExistentialDisjunct", "TGDClass", "canonicalize", "classify",
@@ -106,8 +123,8 @@ __all__ = [
     "CharacterizationResult", "characterize",
     "LocalityMode", "PropertyReport", "criticality_report",
     "locality_report", "locally_embeddable", "product_closure_report",
-    "RewriteResult", "frontier_guarded_to_guarded", "guarded_to_linear",
-    "rewrite",
+    "PreflightError", "RewriteResult", "frontier_guarded_to_guarded",
+    "guarded_to_linear", "rewrite",
     "CQ", "UCQ", "certain_cq_answers", "rewrite_ucq",
     "CandidateSource", "SearchBudget", "SearchOutcome", "Verdict",
     "run_search",

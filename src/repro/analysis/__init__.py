@@ -1,0 +1,78 @@
+"""repro.analysis — static analysis of dependency sets.
+
+The subsystem behind ``repro lint``: explained fragment membership
+(:mod:`.fragments`), termination certificates beyond weak acyclicity
+(:mod:`.acyclicity`, :mod:`.certificates`), rule-set hygiene
+(:mod:`.hygiene`), egd/denial stratification (:mod:`.stratification`),
+the deterministic lint driver (:mod:`.lint`), and the text/JSON/SARIF
+renderers (:mod:`.sarif`).
+
+The certificate layer is also the engines' budget gate:
+``entails`` / ``certain_answer`` / the ontology layer ask
+:func:`default_budget` whether a chase needs a round budget, and
+``chase(..., certificate="auto")`` drops its own cap when a memoized
+certificate guarantees termination.
+"""
+
+from .acyclicity import (
+    AcyclicityReport,
+    is_jointly_acyclic,
+    is_super_weakly_acyclic,
+    joint_acyclicity_report,
+    super_weak_acyclicity_report,
+)
+from .certificates import (
+    Certificate,
+    CertificateReport,
+    certificate_for,
+    certificate_gating,
+    certificate_gating_enabled,
+    clear_certificate_cache,
+    default_budget,
+    guarantees_termination,
+    set_certificate_gating,
+)
+from .diagnostics import Diagnostic, Severity, sort_diagnostics, worst_severity
+from .fragments import (
+    FragmentExplanation,
+    explain_fragment,
+    explain_fragments,
+    fragment_diagnostics,
+)
+from .hygiene import hygiene_diagnostics
+from .lint import LintReport, run_lint
+from .sarif import render_json, render_sarif, render_text, sarif_payload
+from .stratification import stratification_diagnostics
+
+__all__ = [
+    "AcyclicityReport",
+    "Certificate",
+    "CertificateReport",
+    "Diagnostic",
+    "FragmentExplanation",
+    "LintReport",
+    "Severity",
+    "certificate_for",
+    "certificate_gating",
+    "certificate_gating_enabled",
+    "clear_certificate_cache",
+    "default_budget",
+    "explain_fragment",
+    "explain_fragments",
+    "fragment_diagnostics",
+    "guarantees_termination",
+    "hygiene_diagnostics",
+    "is_jointly_acyclic",
+    "is_super_weakly_acyclic",
+    "joint_acyclicity_report",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "run_lint",
+    "sarif_payload",
+    "set_certificate_gating",
+    "sort_diagnostics",
+    "stratification_diagnostics",
+    "super_weak_acyclicity_report",
+    "worst_severity",
+]

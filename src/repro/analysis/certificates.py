@@ -1,0 +1,262 @@
+"""Termination certificates and budget gating for the engines.
+
+A *certificate* is a static guarantee that every chase sequence over a
+dependency set terminates.  The lattice, strongest first (each class is
+strictly contained in the next):
+
+    WEAK_ACYCLICITY ⊊ JOINT_ACYCLICITY ⊊ SUPER_WEAK_ACYCLICITY ⊊ (none)
+
+:func:`certificate_for` returns the strongest certificate that applies,
+plus a concrete cycle witness when none does.  Reports are memoized on
+the renaming-invariant dependency keys of
+:mod:`repro.entailment.cache`, because the engines ask the same
+question over and over: every ``entails()`` call on the same premise
+set used to rebuild the position graph from scratch.
+
+**Gating.**  :func:`default_budget` is the single place where the
+engines (``entails``, ``certain_answer``, omqa, the ontology layer)
+decide whether a chase needs a round budget: with gating *on* (the
+default), a memoized certificate drops the budget and bumps the
+``chase.certificate`` telemetry counter; with gating *off*
+(:func:`set_certificate_gating`), the legacy per-call weak-acyclicity
+check runs instead.  Gating can only widen the set of inputs chased to
+a definitive fixpoint — for weakly acyclic sets both paths agree
+exactly, so engine results are bit-identical either way (asserted by
+``tests/test_analysis.py`` and measured by
+``benchmarks/bench_analysis.py``).
+
+**Soundness with constraints.**  Weak acyclicity certifies tgd+egd
+sets (Fagin et al.); the joint and super-weak refinements are proven
+for tgds only, so in the presence of egds they are *reported* but not
+used to drop budgets.  Denial constraints never create facts and are
+always safe.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import OrderedDict
+from typing import Iterator, Sequence
+
+from contextlib import contextmanager
+
+from ..chase.termination import weak_acyclicity_report
+from ..dependencies.egd import EGD
+from ..dependencies.tgd import TGD
+from ..telemetry import TELEMETRY
+from .acyclicity import (
+    joint_acyclicity_report,
+    super_weak_acyclicity_report,
+)
+
+__all__ = [
+    "Certificate",
+    "CertificateReport",
+    "certificate_for",
+    "clear_certificate_cache",
+    "default_budget",
+    "guarantees_termination",
+    "set_certificate_gating",
+    "certificate_gating_enabled",
+    "certificate_gating",
+]
+
+
+class Certificate(enum.Enum):
+    """The termination-certificate lattice, strongest condition first."""
+
+    WEAK_ACYCLICITY = "weak-acyclicity"
+    JOINT_ACYCLICITY = "joint-acyclicity"
+    SUPER_WEAK_ACYCLICITY = "super-weak-acyclicity"
+    NONE = "none"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def strength(self) -> int:
+        """Smaller is stronger; ``NONE`` is weakest."""
+        return _STRENGTH[self]
+
+    def implies(self, other: "Certificate") -> bool:
+        """Class containment: a set certified at ``self`` is also in
+        every weaker class (``weak ⊂ joint ⊂ super-weak``)."""
+        return self.strength <= other.strength
+
+
+_STRENGTH = {
+    Certificate.WEAK_ACYCLICITY: 0,
+    Certificate.JOINT_ACYCLICITY: 1,
+    Certificate.SUPER_WEAK_ACYCLICITY: 2,
+    Certificate.NONE: 3,
+}
+
+
+class CertificateReport:
+    """The strongest certificate of a tgd set, with provenance.
+
+    ``cycle`` is the witness against the *weakest* analysis (super-weak
+    acyclicity) when no certificate applies — the strongest possible
+    evidence of a termination risk.  ``tgd_only`` records whether the
+    analyzed set contained only tgds (and denial constraints), which is
+    what the joint/super-weak certificates require to gate budgets.
+    """
+
+    __slots__ = ("certificate", "cycle", "tgd_only")
+
+    def __init__(
+        self,
+        certificate: Certificate,
+        cycle: tuple[str, ...] | None,
+        tgd_only: bool,
+    ) -> None:
+        self.certificate = certificate
+        self.cycle = cycle
+        self.tgd_only = tgd_only
+
+    def __bool__(self) -> bool:
+        return self.certificate is not Certificate.NONE
+
+    @property
+    def guarantees_termination(self) -> bool:
+        """Does the certificate apply to the *analyzed set as given*?
+
+        Weak acyclicity covers tgds+egds; the refinements are only
+        proven for tgd-only sets.
+        """
+        if self.certificate is Certificate.WEAK_ACYCLICITY:
+            return True
+        if self.certificate is Certificate.NONE:
+            return False
+        return self.tgd_only
+
+    def __repr__(self) -> str:
+        return (
+            f"CertificateReport({self.certificate}, cycle={self.cycle}, "
+            f"tgd_only={self.tgd_only})"
+        )
+
+
+_CACHE_SIZE = 1024
+_cache: OrderedDict[frozenset[tuple], CertificateReport] = OrderedDict()
+_cache_lock = threading.Lock()
+_GATING = threading.local()
+
+
+def _gating_state() -> bool:
+    return getattr(_GATING, "enabled", True)
+
+
+def set_certificate_gating(enabled: bool) -> None:
+    """Switch budget gating on (default) or off (legacy per-call weak
+    acyclicity) for the current thread."""
+    _GATING.enabled = enabled
+
+
+def certificate_gating_enabled() -> bool:
+    return _gating_state()
+
+
+@contextmanager
+def certificate_gating(enabled: bool) -> Iterator[None]:
+    """Temporarily force gating on or off (used by tests and benches)."""
+    previous = _gating_state()
+    set_certificate_gating(enabled)
+    try:
+        yield
+    finally:
+        set_certificate_gating(previous)
+
+
+def _cache_key(dependencies: Sequence[object]) -> frozenset[tuple]:
+    from ..entailment.cache import dependency_cache_key
+
+    return frozenset(dependency_cache_key(dep) for dep in dependencies)
+
+
+def clear_certificate_cache() -> None:
+    with _cache_lock:
+        _cache.clear()
+
+
+def _analyze(tgds: Sequence[TGD], tgd_only: bool) -> CertificateReport:
+    weak = weak_acyclicity_report(tgds)
+    if weak.weakly_acyclic:
+        return CertificateReport(Certificate.WEAK_ACYCLICITY, None, tgd_only)
+    joint = joint_acyclicity_report(tgds)
+    if joint.acyclic:
+        return CertificateReport(Certificate.JOINT_ACYCLICITY, None, tgd_only)
+    super_weak = super_weak_acyclicity_report(tgds)
+    if super_weak.acyclic:
+        return CertificateReport(
+            Certificate.SUPER_WEAK_ACYCLICITY, None, tgd_only
+        )
+    return CertificateReport(Certificate.NONE, super_weak.cycle, tgd_only)
+
+
+def certificate_for(
+    dependencies: Sequence[object], *, cache: bool = True
+) -> CertificateReport:
+    """The strongest termination certificate of the set's tgds.
+
+    Memoized on the renaming-invariant key of the dependency set, so
+    alphabetic variants and reorderings share one analysis.
+    """
+    deps = list(dependencies)
+    tgds = [dep for dep in deps if isinstance(dep, TGD)]
+    tgd_only = not any(isinstance(dep, EGD) for dep in deps)
+    key: frozenset[tuple] | None = None
+    if cache:
+        key = _cache_key(deps)
+        with _cache_lock:
+            report = _cache.get(key)
+            if report is not None:
+                _cache.move_to_end(key)
+        if report is not None:
+            if TELEMETRY.enabled:
+                TELEMETRY.count("analysis.certificate_cache_hits")
+            return report
+    report = _analyze(tgds, tgd_only)
+    if TELEMETRY.enabled:
+        TELEMETRY.count("analysis.certificates_computed")
+    if key is not None:
+        with _cache_lock:
+            _cache[key] = report
+            _cache.move_to_end(key)
+            while len(_cache) > _CACHE_SIZE:
+                _cache.popitem(last=False)
+    return report
+
+
+def guarantees_termination(dependencies: Sequence[object]) -> bool:
+    """Does a (memoized) certificate guarantee every chase over the set
+    terminates?  Respects the soundness scope of each certificate."""
+    return certificate_for(dependencies).guarantees_termination
+
+
+def default_budget(
+    dependencies: Sequence[object], fallback: int
+) -> int | None:
+    """The chase round budget the engines should apply when the caller
+    did not pass one: ``None`` (chase to fixpoint) when a termination
+    certificate applies, ``fallback`` otherwise.
+
+    This is the certificate-gating seam: gating on consults the
+    memoized certificate lattice (counting ``chase.certificate`` each
+    time a budget is dropped); gating off reproduces the legacy
+    behavior — a fresh weak-acyclicity check per call, refinements
+    ignored.
+    """
+    if not _gating_state():
+        from ..chase.termination import is_weakly_acyclic
+
+        deps = [
+            dep for dep in dependencies if isinstance(dep, (TGD, EGD))
+        ]
+        return None if is_weakly_acyclic(deps) else fallback
+    if guarantees_termination(dependencies):
+        if TELEMETRY.enabled:
+            TELEMETRY.count("chase.certificate")
+        return None
+    return fallback

@@ -1,0 +1,200 @@
+"""Explained fragment membership: *why* a tgd is (or is not) in a class.
+
+The boolean predicates on :class:`~repro.dependencies.tgd.TGD`
+(``is_full`` / ``is_linear`` / ``is_guarded`` / ``is_frontier_guarded``)
+answer membership with a bare bit.  This pass re-derives the answer
+*constructively* and returns the evidence:
+
+* **full** — negative witness: the first existential variable and the
+  first head atom containing it;
+* **linear** — negative witness: the second body atom (one atom too
+  many); positive witness: the single body atom, if any;
+* **guarded** — positive witness: the first guard; negative witness:
+  the body atom covering the most universal variables together with the
+  first universal variable it misses (so *every* atom provably misses a
+  variable — the widest one included);
+* **frontier-guarded** — same with the frontier in place of all
+  universal variables.
+
+The explanations are cross-checked against the boolean predicates by
+``tests/test_analysis_properties.py`` in both directions on random
+tgds: ``explanation.member == in_class(tgd, cls)``, and every negative
+witness satisfies the defining violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dependencies.classes import TGDClass, in_class
+from ..dependencies.tgd import TGD
+from ..lang.atoms import Atom
+from ..lang.terms import Var
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["FragmentExplanation", "explain_fragment", "explain_fragments",
+           "fragment_diagnostics"]
+
+
+@dataclass(frozen=True)
+class FragmentExplanation:
+    """Membership of one tgd in one class, with evidence.
+
+    ``witness_atom`` / ``witness_variable`` carry the structured
+    witness; ``witness()`` renders the pair.  For *negative*
+    explanations both the relevant fields are always populated as
+    documented in the module docstring.
+    """
+
+    cls: TGDClass
+    member: bool
+    reason: str
+    witness_atom: Atom | None = None
+    witness_variable: Var | None = None
+
+    def witness(self) -> str | None:
+        """The rendered witness (``None`` only for witness-free
+        positive explanations, e.g. an empty-body guarded tgd)."""
+        parts: list[str] = []
+        if self.witness_variable is not None:
+            parts.append(str(self.witness_variable).replace("?", ""))
+        if self.witness_atom is not None:
+            parts.append(str(self.witness_atom).replace("?", ""))
+        return " in " .join(parts) if parts else None
+
+
+def _widest_atom(tgd: TGD, required: tuple[Var, ...]) -> tuple[Atom, Var]:
+    """The first body atom covering the most of ``required``, and the
+    first required variable it misses.
+
+    Only called when no atom covers all of ``required``, so the missing
+    variable exists; ties break to the earliest body atom, which makes
+    the witness deterministic.
+    """
+    best = max(
+        tgd.body,
+        key=lambda atom: sum(
+            1 for v in required if v in set(atom.variables())
+        ),
+    )
+    covered = set(best.variables())
+    missing = next(v for v in required if v not in covered)
+    return best, missing
+
+
+def explain_fragment(tgd: TGD, cls: TGDClass) -> FragmentExplanation:
+    """The explained counterpart of
+    :func:`repro.dependencies.classes.in_class`."""
+    if cls is TGDClass.TGD:
+        return FragmentExplanation(cls, True, "every dependency here is a tgd")
+    if cls is TGDClass.FULL:
+        existential = tgd.existential_variables
+        if not existential:
+            return FragmentExplanation(
+                cls, True, "no existentially quantified variables"
+            )
+        var = existential[0]
+        atom = next(a for a in tgd.head if var in set(a.variables()))
+        return FragmentExplanation(
+            cls,
+            False,
+            f"head invents {len(existential)} existential variable(s)",
+            witness_atom=atom,
+            witness_variable=var,
+        )
+    if cls is TGDClass.LINEAR:
+        if len(tgd.body) <= 1:
+            return FragmentExplanation(
+                cls,
+                True,
+                "at most one body atom",
+                witness_atom=tgd.body[0] if tgd.body else None,
+            )
+        return FragmentExplanation(
+            cls,
+            False,
+            f"body has {len(tgd.body)} atoms (linear allows one)",
+            witness_atom=tgd.body[1],
+        )
+    if cls is TGDClass.GUARDED:
+        required = tuple(dict.fromkeys(tgd.universal_variables))
+        label = "universally quantified"
+    elif cls is TGDClass.FRONTIER_GUARDED:
+        required = tuple(dict.fromkeys(tgd.frontier))
+        label = "frontier"
+    else:  # pragma: no cover - exhaustive over TGDClass
+        raise ValueError(f"unknown tgd class {cls!r}")
+    if not tgd.body:
+        return FragmentExplanation(cls, True, "empty body is trivially guarded")
+    guards = (
+        tgd.guards() if cls is TGDClass.GUARDED else tgd.frontier_guards()
+    )
+    if guards:
+        return FragmentExplanation(
+            cls,
+            True,
+            f"body atom contains every {label} variable",
+            witness_atom=guards[0],
+        )
+    atom, missing = _widest_atom(tgd, required)
+    return FragmentExplanation(
+        cls,
+        False,
+        f"no body atom covers all {label} variables; even the widest "
+        f"misses one",
+        witness_atom=atom,
+        witness_variable=missing,
+    )
+
+
+def explain_fragments(tgd: TGD) -> tuple[FragmentExplanation, ...]:
+    """Explanations for every class of the lattice, in lattice order."""
+    order = (
+        TGDClass.FULL,
+        TGDClass.LINEAR,
+        TGDClass.GUARDED,
+        TGDClass.FRONTIER_GUARDED,
+    )
+    explanations = tuple(explain_fragment(tgd, cls) for cls in order)
+    for explanation in explanations:
+        # The constructive derivation must agree with the boolean
+        # predicate — checked here too, not just in the tests, so a
+        # drifted predicate can never ship inconsistent diagnostics.
+        assert explanation.member == in_class(tgd, explanation.cls), (
+            tgd,
+            explanation,
+        )
+    return explanations
+
+
+_FRAGMENT_CODES = {
+    TGDClass.FULL: "F001",
+    TGDClass.LINEAR: "F002",
+    TGDClass.GUARDED: "F003",
+    TGDClass.FRONTIER_GUARDED: "F004",
+}
+
+
+def fragment_diagnostics(index: int, tgd: TGD) -> tuple[Diagnostic, ...]:
+    """Fragment explanations of one rule, as diagnostics.
+
+    Every class is reported: positive memberships at INFO with the
+    witnessing guard/atom where one exists, negative memberships at
+    INFO with the mandatory violation witness.
+    """
+    diagnostics = []
+    for explanation in explain_fragments(tgd):
+        verdict = "in" if explanation.member else "not in"
+        diagnostics.append(
+            Diagnostic(
+                code=_FRAGMENT_CODES[explanation.cls],
+                severity=Severity.INFO,
+                message=(
+                    f"{verdict} {explanation.cls}: {explanation.reason}"
+                ),
+                rule=index,
+                witness=explanation.witness(),
+                tags=("fragment", str(explanation.cls)),
+            )
+        )
+    return tuple(diagnostics)

@@ -1,0 +1,250 @@
+"""Rule-set hygiene: unused variables, dead rules, unreachable
+predicates, subsumed and redundant rules.
+
+These findings never change the *semantics* of a set — a dead rule is
+logically harmless — but they almost always indicate a typo (a
+misspelled predicate orphans every rule reading it) or copy-paste
+residue (a rule entailed by its neighbours).  Codes:
+
+``H001``
+    An unused universal variable in a multi-atom body: it occurs
+    exactly once and is never exported, so its atom is joined in as a
+    cross product — usually a misspelled join variable.  Single-atom
+    bodies are exempt (projection is idiomatic there).
+``H002``
+    An unreachable predicate: assuming databases range over the
+    *extensional* schema (predicates not derived by any tgd head), the
+    predicate can never hold a fact.  Skipped when the set has no
+    extensional predicate at all (then nothing anchors reachability).
+``H003``
+    A dead rule: its body reads an unreachable predicate, so no chase
+    over an extensional database ever fires it.
+``H004``
+    A subsumed rule: some *single* other rule entails it.  The witness
+    names the subsuming rule; two identical rules subsume each other
+    and are both reported.
+``H005``
+    A redundant rule: the rest of the set entails it (but no single
+    rule does — those are reported as ``H004`` instead).
+
+Subsumption and redundancy go through the memoized entailment layer
+(:func:`repro.entailment.entails`), which applies its own certificate-
+gated budgets, so hygiene never hangs on a non-terminating set; only a
+definitive ``TRUE`` verdict produces a diagnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..dependencies.denial import DenialConstraint
+from ..dependencies.egd import EGD
+from ..dependencies.tgd import TGD
+from ..lang.atoms import Atom
+from .diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "unused_variable_diagnostics",
+    "reachability_diagnostics",
+    "subsumption_diagnostics",
+    "hygiene_diagnostics",
+]
+
+
+def _body_of(dep: object) -> tuple[Atom, ...]:
+    body = getattr(dep, "body", ())
+    return tuple(body)
+
+
+def unused_variable_diagnostics(
+    index: int, dep: object
+) -> tuple[Diagnostic, ...]:
+    """``H001`` per universal variable used exactly once and never
+    exported (tgd head / egd equality), in multi-atom bodies."""
+    body = _body_of(dep)
+    if len(body) < 2:
+        return ()
+    occurrences: dict[str, int] = {}
+    order: list[str] = []
+    for atom in body:
+        for var in atom.variables():
+            if var.name not in occurrences:
+                order.append(var.name)
+            occurrences[var.name] = occurrences.get(var.name, 0) + 1
+    if isinstance(dep, TGD):
+        exported = {var.name for var in dep.frontier}
+    elif isinstance(dep, EGD):
+        exported = {dep.lhs.name, dep.rhs.name}
+    else:
+        # A denial constraint only matches a pattern; single-occurrence
+        # variables are deliberate wildcards there.
+        return ()
+    diagnostics = []
+    for name in order:
+        if occurrences[name] == 1 and name not in exported:
+            atom = next(
+                a
+                for a in body
+                if any(v.name == name for v in a.variables())
+            )
+            diagnostics.append(
+                Diagnostic(
+                    code="H001",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"variable {name} occurs once and constrains "
+                        f"nothing (possible typo)"
+                    ),
+                    rule=index,
+                    witness=f"{name} in {atom}".replace("?", ""),
+                    tags=("hygiene", "unused-variable"),
+                )
+            )
+    return tuple(diagnostics)
+
+
+def _predicate_graph(
+    dependencies: Sequence[object],
+) -> tuple[list[str], set[str], set[str]]:
+    """All predicates (first-seen order), the extensional ones (never in
+    a tgd head), and the reachable ones (extensional closed under rule
+    application)."""
+    order: list[str] = []
+    seen: set[str] = set()
+    derived: set[str] = set()
+    for dep in dependencies:
+        for atom in _body_of(dep):
+            if atom.relation.name not in seen:
+                seen.add(atom.relation.name)
+                order.append(atom.relation.name)
+        for atom in getattr(dep, "head", ()):
+            derived.add(atom.relation.name)
+            if atom.relation.name not in seen:
+                seen.add(atom.relation.name)
+                order.append(atom.relation.name)
+    extensional = {name for name in order if name not in derived}
+    reachable = set(extensional)
+    changed = True
+    while changed:
+        changed = False
+        for dep in dependencies:
+            if not isinstance(dep, TGD):
+                continue
+            if not all(
+                atom.relation.name in reachable for atom in dep.body
+            ):
+                continue
+            for atom in dep.head:
+                if atom.relation.name not in reachable:
+                    reachable.add(atom.relation.name)
+                    changed = True
+    return order, extensional, reachable
+
+
+def reachability_diagnostics(
+    dependencies: Sequence[object],
+) -> tuple[Diagnostic, ...]:
+    """``H002`` per unreachable predicate, ``H003`` per dead rule."""
+    deps = list(dependencies)
+    order, extensional, reachable = _predicate_graph(deps)
+    if not extensional:
+        return ()
+    diagnostics = [
+        Diagnostic(
+            code="H002",
+            severity=Severity.WARNING,
+            message=(
+                f"predicate {name} is never derivable from the "
+                f"extensional schema"
+            ),
+            witness=name,
+            tags=("hygiene", "unreachable-predicate"),
+        )
+        for name in order
+        if name not in reachable
+    ]
+    for index, dep in enumerate(deps):
+        blocker = next(
+            (
+                atom.relation.name
+                for atom in _body_of(dep)
+                if atom.relation.name not in reachable
+            ),
+            None,
+        )
+        if blocker is not None:
+            diagnostics.append(
+                Diagnostic(
+                    code="H003",
+                    severity=Severity.WARNING,
+                    message="dead rule: its body can never be satisfied",
+                    rule=index,
+                    witness=blocker,
+                    tags=("hygiene", "dead-rule"),
+                )
+            )
+    return tuple(diagnostics)
+
+
+def subsumption_diagnostics(
+    dependencies: Sequence[object],
+) -> tuple[Diagnostic, ...]:
+    """``H004`` (pairwise subsumption) and ``H005`` (set redundancy)
+    through the memoized entailment layer."""
+    from ..entailment.implication import entails
+    from ..entailment.trivalent import TriBool
+
+    deps = list(dependencies)
+    candidates = [
+        (i, dep)
+        for i, dep in enumerate(deps)
+        if isinstance(dep, (TGD, EGD))
+    ]
+    diagnostics = []
+    for i, dep in candidates:
+        subsumer: int | None = None
+        for j, other in candidates:
+            if j == i:
+                continue
+            if entails([other], dep) is TriBool.TRUE:
+                subsumer = j
+                break
+        if subsumer is not None:
+            diagnostics.append(
+                Diagnostic(
+                    code="H004",
+                    severity=Severity.WARNING,
+                    message=f"subsumed by rule {subsumer}",
+                    rule=i,
+                    witness=f"rule {subsumer}",
+                    tags=("hygiene", "subsumed-rule"),
+                )
+            )
+            continue
+        rest = [other for j, other in candidates if j != i]
+        if rest and entails(rest, dep) is TriBool.TRUE:
+            diagnostics.append(
+                Diagnostic(
+                    code="H005",
+                    severity=Severity.WARNING,
+                    message="redundant: entailed by the rest of the set",
+                    rule=i,
+                    tags=("hygiene", "redundant-rule"),
+                )
+            )
+    return tuple(diagnostics)
+
+
+def hygiene_diagnostics(
+    dependencies: Sequence[object], *, entailment: bool = True
+) -> tuple[Diagnostic, ...]:
+    """All hygiene findings of a set; ``entailment=False`` skips the
+    chase-backed subsumption/redundancy passes."""
+    deps = list(dependencies)
+    diagnostics: list[Diagnostic] = []
+    for index, dep in enumerate(deps):
+        diagnostics.extend(unused_variable_diagnostics(index, dep))
+    diagnostics.extend(reachability_diagnostics(deps))
+    if entailment:
+        diagnostics.extend(subsumption_diagnostics(deps))
+    return tuple(diagnostics)

@@ -1,0 +1,161 @@
+"""The lint driver: run every analysis pass over a dependency set and
+return one canonical, deterministic report.
+
+:func:`run_lint` composes the passes —
+
+* per rule: fragment-membership explanations
+  (:mod:`repro.analysis.fragments`) and unused-variable hygiene;
+* per set: reachability hygiene, entailment-backed subsumption,
+  egd/denial stratification, and the termination-certificate lattice
+  (codes ``T001``–``T003``);
+
+— and sorts the union with
+:func:`repro.analysis.diagnostics.sort_diagnostics`.  The per-rule
+passes are embarrassingly parallel; with ``jobs > 1`` they fan out over
+a :class:`~concurrent.futures.ProcessPoolExecutor` (diagnostics are
+picklable frozen dataclasses) and are merged back in rule order, so the
+report is byte-identical for every ``jobs`` setting — the property
+``tests/test_analysis.py`` and the CLI promise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..dependencies.tgd import TGD
+from ..telemetry import span
+from .certificates import Certificate, CertificateReport, certificate_for
+from .diagnostics import Diagnostic, Severity, sort_diagnostics, worst_severity
+from .fragments import fragment_diagnostics
+from .hygiene import (
+    reachability_diagnostics,
+    subsumption_diagnostics,
+    unused_variable_diagnostics,
+)
+from .stratification import stratification_diagnostics
+
+__all__ = ["LintReport", "run_lint", "certificate_diagnostics"]
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Everything ``repro lint`` knows about a set: the rendered rules,
+    the canonical diagnostic sequence, and the strongest termination
+    certificate."""
+
+    rules: tuple[str, ...]
+    diagnostics: tuple[Diagnostic, ...]
+    certificate: Certificate
+
+    @property
+    def worst(self) -> Severity | None:
+        return worst_severity(self.diagnostics)
+
+    @property
+    def exit_code(self) -> int:
+        """1 when any error-severity finding is present, else 0."""
+        return 1 if self.worst is Severity.ERROR else 0
+
+
+def certificate_diagnostics(
+    report: CertificateReport,
+) -> tuple[Diagnostic, ...]:
+    """The certificate lattice as set-level diagnostics.
+
+    ``T001`` (info) — a certificate guarantees termination, witness
+    names it.  ``T002`` (warning) — no certificate, witness is the
+    super-weak trigger cycle.  ``T003`` (warning) — a joint/super-weak
+    certificate exists but the set has egds, so it cannot gate budgets.
+    """
+    if report.certificate is Certificate.NONE:
+        witness = (
+            " -> ".join(report.cycle) if report.cycle else None
+        )
+        return (
+            Diagnostic(
+                code="T002",
+                severity=Severity.WARNING,
+                message=(
+                    "no termination certificate (not even super-weakly "
+                    "acyclic); chases fall back to round budgets"
+                ),
+                witness=witness,
+                tags=("termination", "no-certificate"),
+            ),
+        )
+    if not report.guarantees_termination:
+        return (
+            Diagnostic(
+                code="T003",
+                severity=Severity.WARNING,
+                message=(
+                    f"{report.certificate} holds for the tgds, but the "
+                    f"set contains egds, for which only weak acyclicity "
+                    f"is proven — budgets stay on"
+                ),
+                witness=str(report.certificate),
+                tags=("termination", "certificate-out-of-scope"),
+            ),
+        )
+    return (
+        Diagnostic(
+            code="T001",
+            severity=Severity.INFO,
+            message=(
+                f"every chase terminates: {report.certificate} "
+                f"certificate"
+            ),
+            witness=str(report.certificate),
+            tags=("termination", "certificate"),
+        ),
+    )
+
+
+def _rule_pass(payload: tuple[int, object]) -> tuple[Diagnostic, ...]:
+    """All per-rule diagnostics of one dependency (worker function —
+    must stay module-level and picklable)."""
+    index, dep = payload
+    diagnostics: list[Diagnostic] = []
+    if isinstance(dep, TGD):
+        diagnostics.extend(fragment_diagnostics(index, dep))
+    diagnostics.extend(unused_variable_diagnostics(index, dep))
+    return tuple(diagnostics)
+
+
+def run_lint(
+    dependencies: Sequence[object],
+    *,
+    jobs: int = 1,
+    entailment: bool = True,
+) -> LintReport:
+    """Lint a dependency set.
+
+    ``jobs > 1`` parallelizes the per-rule passes; ``entailment=False``
+    skips the chase-backed subsumption pass (the only potentially
+    expensive one).
+    """
+    deps = list(dependencies)
+    payloads = list(enumerate(deps))
+    with span("lint", rules=len(deps), jobs=jobs):
+        if jobs > 1 and len(payloads) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                per_rule = list(pool.map(_rule_pass, payloads))
+        else:
+            per_rule = [_rule_pass(payload) for payload in payloads]
+        diagnostics: list[Diagnostic] = [
+            diag for bundle in per_rule for diag in bundle
+        ]
+        diagnostics.extend(reachability_diagnostics(deps))
+        if entailment:
+            diagnostics.extend(subsumption_diagnostics(deps))
+        diagnostics.extend(stratification_diagnostics(deps))
+        certificate = certificate_for(deps)
+        diagnostics.extend(certificate_diagnostics(certificate))
+    return LintReport(
+        rules=tuple(str(dep) for dep in deps),
+        diagnostics=sort_diagnostics(diagnostics),
+        certificate=certificate.certificate,
+    )

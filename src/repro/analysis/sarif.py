@@ -1,0 +1,172 @@
+"""Render a :class:`~repro.analysis.lint.LintReport` as text, JSON, or
+SARIF 2.1.0.
+
+The SARIF output follows the static-analysis interchange format so CI
+can ingest ``repro lint`` like any other linter: one ``run`` whose
+driver declares every diagnostic code as a reporting rule, one
+``result`` per diagnostic with the severity mapped to a SARIF level
+(``info`` → ``note``) and the witness carried in ``properties``.  When
+the caller knows the source file and the line of each rule (the CLI
+loader tracks both), results get ``physicalLocation`` regions.  All
+three renderers are deterministic: same report, same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .diagnostics import Diagnostic
+from .lint import LintReport
+
+__all__ = ["render_text", "render_json", "render_sarif", "sarif_payload"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_RULE_DESCRIPTIONS = {
+    "F001": "Fragment membership: full tgds",
+    "F002": "Fragment membership: linear tgds",
+    "F003": "Fragment membership: guarded tgds",
+    "F004": "Fragment membership: frontier-guarded tgds",
+    "H001": "Hygiene: unused variable",
+    "H002": "Hygiene: unreachable predicate",
+    "H003": "Hygiene: dead rule",
+    "H004": "Hygiene: subsumed rule",
+    "H005": "Hygiene: redundant rule",
+    "S001": "Stratification: egd over derived predicates",
+    "S002": "Stratification: denial constraint over derived predicates",
+    "T001": "Termination: certificate found",
+    "T002": "Termination: no certificate",
+    "T003": "Termination: certificate out of scope",
+}
+
+
+def render_text(report: LintReport, *, verbose: bool = False) -> str:
+    """The human-readable report: rules, then one line per diagnostic
+    (``verbose`` repeats the concerned rule under each finding)."""
+    lines = [
+        f"{len(report.rules)} rule(s), "
+        f"{len(report.diagnostics)} finding(s), "
+        f"termination certificate: {report.certificate}"
+    ]
+    for index, rule in enumerate(report.rules):
+        lines.append(f"  rule {index}: {rule}")
+    for diag in report.diagnostics:
+        rule_text = (
+            report.rules[diag.rule]
+            if verbose and diag.rule is not None
+            else None
+        )
+        lines.append(diag.render(rule_text))
+    return "\n".join(lines)
+
+
+def _diagnostic_payload(diag: Diagnostic) -> dict:
+    return {
+        "code": diag.code,
+        "severity": str(diag.severity),
+        "message": diag.message,
+        "rule": diag.rule,
+        "witness": diag.witness,
+        "tags": list(diag.tags),
+    }
+
+
+def render_json(report: LintReport) -> str:
+    payload = {
+        "rules": list(report.rules),
+        "certificate": str(report.certificate),
+        "diagnostics": [
+            _diagnostic_payload(diag) for diag in report.diagnostics
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def sarif_payload(
+    report: LintReport,
+    *,
+    artifact_uri: str | None = None,
+    rule_lines: Sequence[int] | None = None,
+) -> dict:
+    """The SARIF 2.1.0 log as a JSON-ready dict.
+
+    ``artifact_uri`` names the linted rules file; ``rule_lines`` gives
+    the 1-based source line of each dependency, in rule order, so
+    per-rule results carry a region.
+    """
+    codes = sorted({diag.code for diag in report.diagnostics})
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {
+                "text": _RULE_DESCRIPTIONS.get(code, code)
+            },
+        }
+        for code in codes
+    ]
+    results = []
+    for diag in report.diagnostics:
+        result: dict = {
+            "ruleId": diag.code,
+            "ruleIndex": codes.index(diag.code),
+            "level": diag.severity.sarif_level,
+            "message": {"text": diag.message},
+            "properties": {
+                "rule": diag.rule,
+                "witness": diag.witness,
+                "tags": list(diag.tags),
+            },
+        }
+        if artifact_uri is not None:
+            location: dict = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": artifact_uri},
+                }
+            }
+            if diag.rule is not None and rule_lines is not None:
+                location["physicalLocation"]["region"] = {
+                    "startLine": rule_lines[diag.rule]
+                }
+            result["locations"] = [location]
+        results.append(result)
+    from .. import __version__
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": __version__,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "properties": {
+                    "terminationCertificate": str(report.certificate)
+                },
+            }
+        ],
+    }
+
+
+def render_sarif(
+    report: LintReport,
+    *,
+    artifact_uri: str | None = None,
+    rule_lines: Sequence[int] | None = None,
+) -> str:
+    return json.dumps(
+        sarif_payload(
+            report, artifact_uri=artifact_uri, rule_lines=rule_lines
+        ),
+        indent=2,
+        sort_keys=True,
+    )

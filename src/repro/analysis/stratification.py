@@ -1,0 +1,73 @@
+"""Stratification of egds and denial constraints over tgd-derived
+predicates.
+
+A constraint (egd or denial) is *stratified* when every predicate it
+reads is extensional — then it can be checked once against the input
+database and the chase can ignore it.  A constraint reading a
+tgd-derived predicate interacts with the chase (an egd may merge nulls
+and re-enable tgds; a denial may fire only on derived facts), which is
+where the classical restriction-and-separability conditions live.
+Codes:
+
+``S001``
+    An egd reads a tgd-derived predicate.  The witness names the
+    predicate and the first tgd deriving it.
+``S002``
+    A denial constraint reads a tgd-derived predicate — benign for
+    termination (denials create nothing) but it means consistency
+    cannot be checked before the chase.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..dependencies.denial import DenialConstraint
+from ..dependencies.egd import EGD
+from ..dependencies.tgd import TGD
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["stratification_diagnostics"]
+
+
+def stratification_diagnostics(
+    dependencies: Sequence[object],
+) -> tuple[Diagnostic, ...]:
+    deps = list(dependencies)
+    derived_by: dict[str, int] = {}
+    for index, dep in enumerate(deps):
+        if isinstance(dep, TGD):
+            for atom in dep.head:
+                derived_by.setdefault(atom.relation.name, index)
+    diagnostics = []
+    for index, dep in enumerate(deps):
+        if isinstance(dep, EGD):
+            code, kind, severity = "S001", "egd", Severity.WARNING
+        elif isinstance(dep, DenialConstraint):
+            code, kind, severity = "S002", "denial constraint", Severity.INFO
+        else:
+            continue
+        hit = next(
+            (
+                atom.relation.name
+                for atom in dep.body
+                if atom.relation.name in derived_by
+            ),
+            None,
+        )
+        if hit is None:
+            continue
+        diagnostics.append(
+            Diagnostic(
+                code=code,
+                severity=severity,
+                message=(
+                    f"unstratified {kind}: reads {hit}, which rule "
+                    f"{derived_by[hit]} derives"
+                ),
+                rule=index,
+                witness=f"{hit} derived by rule {derived_by[hit]}",
+                tags=("stratification", kind.split()[0]),
+            )
+        )
+    return tuple(diagnostics)

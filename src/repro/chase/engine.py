@@ -106,7 +106,7 @@ class ChaseResult:
     stop_reason: str = ""
     metrics: Mapping[str, int] = field(default_factory=dict, compare=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.stop_reason:
             # Best-effort inference for constructions that predate
             # stop_reason; budget kinds are not distinguishable here.
@@ -138,10 +138,10 @@ class _State:
     rebuilt, forcing a full re-enumeration on the next sweep.
     """
 
-    def __init__(self, instance: Instance, schema: Schema):
+    def __init__(self, instance: Instance, schema: Schema) -> None:
         self.schema = schema
-        self.domain: set = set(instance.domain)
-        self.relations: dict[Relation, set[tuple]] = {
+        self.domain: set[object] = set(instance.domain)
+        self.relations: dict[Relation, set[tuple[object, ...]]] = {
             rel: set(
                 instance.tuples(rel.name)
                 if rel.name in instance.schema
@@ -150,8 +150,8 @@ class _State:
             for rel in schema
         }
         self.generation = 0
-        self.log: list[tuple[Relation, tuple]] = []
-        self._index: dict[Relation, dict[tuple[int, object], set[tuple]]] = {}
+        self.log: list[tuple[Relation, tuple[object, ...]]] = []
+        self._index: dict[Relation, dict[tuple[int, object], set[tuple[object, ...]]]] = {}
         self._rebuild()
 
     def _rebuild(self) -> None:
@@ -222,7 +222,7 @@ class _DeltaCursor:
         self.position = 0
 
 
-def _unify_atom(atom: Atom, tup: tuple) -> dict[Var, object] | None:
+def _unify_atom(atom: Atom, tup: tuple[object, ...]) -> dict[Var, object] | None:
     """Match one atom against one fact; ``None`` on clash."""
     partial: dict[Var, object] = {}
     for arg, elem in zip(atom.args, tup):
@@ -262,10 +262,10 @@ def _enumerate_triggers(
         triggers = []
         delta = state.log[cursor.position:]
         if dep.body and delta:
-            by_rel: dict[Relation, list[tuple]] = {}
+            by_rel: dict[Relation, list[tuple[object, ...]]] = {}
             for rel, tup in delta:
                 by_rel.setdefault(rel, []).append(tup)
-            seen: set[tuple] = set()
+            seen: set[tuple[object, ...]] = set()
             for i, atom in enumerate(dep.body):
                 new_tuples = by_rel.get(atom.relation)
                 if not new_tuples:
@@ -357,6 +357,7 @@ def chase(
     strategy: str = "seminaive",
     max_rounds: int | None = None,
     max_facts: int | None = None,
+    certificate: str = "off",
 ) -> ChaseResult:
     """Chase ``instance`` with tgds and egds.
 
@@ -365,6 +366,15 @@ def chase(
     With both ``None``, the chase runs until a fixpoint (which may never
     come for non-terminating sets — prefer an explicit budget, or check
     weak acyclicity first).
+
+    ``certificate="auto"`` consults the memoized termination-certificate
+    lattice (:func:`repro.analysis.guarantees_termination`): when a
+    certificate guarantees that every chase sequence terminates, the
+    round budget is dropped and the run goes to a definitive fixpoint
+    (counted by the ``chase.certificate`` telemetry counter);
+    ``max_facts`` is kept as a hard safety cap.  For uncertified sets
+    the budgets apply unchanged.  The default ``"off"`` never consults
+    the analysis.
 
     ``strategy`` selects the evaluation plan (``"seminaive"`` — delta
     joins over the indexed state, the default — or ``"naive"`` — full
@@ -376,6 +386,15 @@ def chase(
         raise ChaseError(f"unknown chase variant {variant!r}")
     if strategy not in STRATEGIES:
         raise ChaseError(f"unknown chase strategy {strategy!r}")
+    if certificate not in ("off", "auto"):
+        raise ChaseError(f"unknown certificate mode {certificate!r}")
+    if certificate == "auto" and max_rounds is not None:
+        from ..analysis.certificates import guarantees_termination
+
+        if guarantees_termination(deps):
+            max_rounds = None
+            if TELEMETRY.enabled:
+                TELEMETRY.count("chase.certificate")
     if variant == "oblivious" and any(
         isinstance(d, (EGD, DenialConstraint)) for d in deps
     ):

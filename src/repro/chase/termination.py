@@ -16,6 +16,7 @@ import networkx as nx
 
 from ..dependencies.egd import EGD
 from ..dependencies.tgd import TGD
+from ..telemetry import TELEMETRY
 
 __all__ = ["Position", "WeakAcyclicityReport", "position_graph", "is_weakly_acyclic", "weak_acyclicity_report"]
 
@@ -44,6 +45,8 @@ def position_graph(tgds: Iterable[TGD]) -> nx.DiGraph:
       existentially quantified variable — provided ``x`` occurs in the
       head (i.e. ``x`` is a frontier variable).
     """
+    if TELEMETRY.enabled:
+        TELEMETRY.count("analysis.position_graph_builds")
     graph = nx.DiGraph()
     for tgd in tgds:
         frontier = set(tgd.frontier)
@@ -84,23 +87,60 @@ def _add_edge(
         graph.add_edge(source, target, special=special)
 
 
+def _shortest_path(
+    graph: "nx.DiGraph", start: Position, goal: Position
+) -> list[Position]:
+    """BFS shortest path expanding successors in sorted order, so the
+    returned path never depends on hash seeds."""
+    if start == goal:
+        return [start]
+    parents: dict[Position, Position] = {start: start}
+    frontier = [start]
+    while frontier:
+        next_frontier: list[Position] = []
+        for node in frontier:
+            for succ in sorted(graph.successors(node)):
+                if succ in parents:
+                    continue
+                parents[succ] = node
+                if succ == goal:
+                    path = [goal]
+                    while path[-1] != start:
+                        path.append(parents[path[-1]])
+                    return path[::-1]
+                next_frontier.append(succ)
+        frontier = next_frontier
+    return [start, goal]  # pragma: no cover - goal is always reachable
+
+
 def weak_acyclicity_report(
     dependencies: Sequence[TGD | EGD],
 ) -> WeakAcyclicityReport:
-    """Weak acyclicity of the tgds in the set (egds never obstruct it)."""
+    """Weak acyclicity of the tgds in the set (egds never obstruct it).
+
+    On failure the witness is the canonical special cycle: among the
+    special edges ``source → target`` inside one strongly connected
+    component, the lexicographically first (by position), closed by the
+    BFS-shortest path back from ``target`` to ``source`` with sorted
+    expansion.  Same set, same witness — independent of hash
+    randomization and dependency iteration internals.
+    """
     tgds = [dep for dep in dependencies if isinstance(dep, TGD)]
     graph = position_graph(tgds)
-    for component in nx.strongly_connected_components(graph):
-        for source in component:
-            for target in graph.successors(source):
-                if target in component and graph[source][target]["special"]:
-                    try:
-                        path = nx.shortest_path(graph, target, source)
-                    except nx.NetworkXNoPath:  # pragma: no cover
-                        path = [target, source]
-                    return WeakAcyclicityReport(
-                        False, tuple([source, *path])
-                    )
+    component_of: dict[Position, int] = {}
+    for index, component in enumerate(
+        nx.strongly_connected_components(graph)
+    ):
+        for node in component:
+            component_of[node] = index
+    for source in sorted(graph.nodes):
+        for target in sorted(graph.successors(source)):
+            if (
+                component_of[target] == component_of[source]
+                and graph[source][target]["special"]
+            ):
+                path = _shortest_path(graph, target, source)
+                return WeakAcyclicityReport(False, tuple([source, *path]))
     return WeakAcyclicityReport(True, None)
 
 

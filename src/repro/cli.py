@@ -10,6 +10,9 @@ Commands:
 * ``characterize RULES``        — Theorems 4.1/5.6/6.4/7.4/8.4 verdicts
 * ``query RULES DATA "Q"``      — certain answers of a CQ (chase-based;
   ``--via-rewriting`` switches to UCQ rewriting for linear rules)
+* ``lint RULES``                — static analysis: fragment
+  explanations, termination certificates, hygiene, stratification
+  (``--format text|json|sarif`` for CI consumption)
 * ``separations``               — re-derive the Section 9.1 separations
 * ``stats TRACE.jsonl``         — summarize a telemetry trace file
 
@@ -48,6 +51,7 @@ import io
 import sys
 from pathlib import Path
 
+from .analysis import render_json, render_sarif, render_text, run_lint
 from .chase import chase, weak_acyclicity_report
 from .dependencies import (
     TGD,
@@ -98,15 +102,23 @@ from . import __version__
 __all__ = ["main"]
 
 
-def _load_dependencies(path: str):
+def _load_dependencies_with_lines(path: str):
+    """Dependencies of a rules file plus the 1-based source line of
+    each (for SARIF regions)."""
     deps = []
-    for line in Path(path).read_text().splitlines():
+    lines = []
+    for number, line in enumerate(Path(path).read_text().splitlines(), 1):
         line = line.split("#", 1)[0].strip()
         if line:
             deps.append(parse_dependency(line))
+            lines.append(number)
     if not deps:
         raise SystemExit(f"no dependencies found in {path}")
-    return deps
+    return deps, lines
+
+
+def _load_dependencies(path: str):
+    return _load_dependencies_with_lines(path)[0]
 
 
 def _load_instance(path: str) -> Instance:
@@ -145,7 +157,9 @@ def _cmd_classify(args) -> int:
 def _cmd_chase(args) -> int:
     deps = _load_dependencies(args.rules)
     db = _load_instance(args.data)
-    result = chase(db, deps, max_rounds=args.max_rounds)
+    result = chase(
+        db, deps, max_rounds=args.max_rounds, certificate=args.certificate
+    )
     status = "failed (constraint violation)" if result.failed else (
         "terminated" if result.terminated else "budget exhausted"
     )
@@ -254,6 +268,26 @@ def _cmd_separations(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    deps, lines = _load_dependencies_with_lines(args.rules)
+    report = run_lint(
+        deps, jobs=args.jobs, entailment=not args.no_entailment
+    )
+    if args.format == "json":
+        rendered = render_json(report)
+    elif args.format == "sarif":
+        rendered = render_sarif(
+            report, artifact_uri=args.rules, rule_lines=lines
+        )
+    else:
+        rendered = render_text(report, verbose=args.verbose)
+    if args.output is not None:
+        Path(args.output).write_text(rendered + "\n")
+    else:
+        print(rendered)
+    return report.exit_code
+
+
 def _cmd_stats(args) -> int:
     try:
         print(summarize_jsonl(args.tracefile))
@@ -296,6 +330,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("rules")
     p.add_argument("data")
     p.add_argument("--max-rounds", type=int, default=None)
+    p.add_argument(
+        "--certificate", choices=("off", "auto"), default="off",
+        help="'auto' drops --max-rounds when a termination certificate "
+             "(weak/joint/super-weak acyclicity) guarantees a fixpoint",
+    )
     p.set_defaults(func=_cmd_chase)
 
     p = sub.add_parser("entails", parents=[common], help="decide Σ ⊨ σ")
@@ -357,6 +396,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallelize the locality batteries over N processes",
     )
     p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser(
+        "lint", parents=[common],
+        help="static analysis: fragments, certificates, hygiene",
+    )
+    p.add_argument("rules")
+    p.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (SARIF 2.1.0 for CI ingestion)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run the per-rule passes in N worker processes "
+             "(identical report for every N)",
+    )
+    p.add_argument(
+        "--no-entailment", action="store_true",
+        help="skip the chase-backed subsumption/redundancy passes",
+    )
+    p.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="repeat the concerned rule under each finding (text format)",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
         "separations", parents=[common], help="re-derive §9.1"

@@ -10,8 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from ..analysis.certificates import default_budget
 from ..chase.engine import ChaseResult, chase
-from ..chase.termination import is_weakly_acyclic
 from ..dependencies.egd import EGD
 from ..dependencies.tgd import TGD
 from ..homomorphisms.search import satisfies_atoms
@@ -79,8 +79,8 @@ def _run_chase(
     max_rounds: int | None,
 ) -> ChaseResult:
     budget = max_rounds
-    if budget is None and not is_weakly_acyclic(dependencies):
-        budget = DEFAULT_CHASE_ROUNDS
+    if budget is None:
+        budget = default_budget(dependencies, DEFAULT_CHASE_ROUNDS)
     return chase(database, dependencies, max_rounds=budget)
 
 

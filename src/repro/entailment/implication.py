@@ -14,8 +14,8 @@ from __future__ import annotations
 
 from typing import Sequence, Union
 
+from ..analysis.certificates import default_budget
 from ..chase.engine import chase
-from ..chase.termination import is_weakly_acyclic
 from ..dependencies.edd import EDD, EqualityDisjunct
 from ..dependencies.egd import EGD
 from ..dependencies.tgd import TGD
@@ -157,8 +157,10 @@ def entails(
             body, body_vars, deps, conclusion.schema
         )
         budget = max_rounds
-        if budget is None and not is_weakly_acyclic(deps):
-            budget = DEFAULT_CHASE_ROUNDS
+        if budget is None:
+            # Certificate-gated: a memoized termination certificate
+            # (weak/joint/super-weak acyclicity) chases to a fixpoint.
+            budget = default_budget(deps, DEFAULT_CHASE_ROUNDS)
         result = chase(database, deps, max_rounds=budget)
         if result.failed:
             verdict = TriBool.TRUE

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence, Union
 
 from ..chase.engine import chase
-from ..chase.termination import is_weakly_acyclic
+from ..analysis.certificates import default_budget
 from ..dependencies.egd import EGD
 from ..dependencies.tgd import TGD
 from ..homomorphisms.search import all_extensions_of
@@ -167,8 +167,8 @@ def certain_answers(
     inconsistent exchange settings is out of scope — we raise instead.
     """
     budget = max_rounds
-    if budget is None and not is_weakly_acyclic(dependencies):
-        budget = 12
+    if budget is None:
+        budget = default_budget(dependencies, 12)
     result = chase(database, dependencies, max_rounds=budget)
     if result.failed:
         raise ValueError(

@@ -133,13 +133,13 @@ class AxiomaticOntology(Ontology):
         """The canonical witness ``J_K = chase(K, Σ)``: a member
         containing the anchor whenever the chase terminates.  Being the
         universal model, it is the most likely witness to embed locally."""
+        from ..analysis.certificates import default_budget
         from ..chase.engine import chase
-        from ..chase.termination import is_weakly_acyclic
         from ..dependencies.edd import EDD
 
         if any(isinstance(dep, EDD) for dep in self._dependencies):
             return None
-        budget = None if is_weakly_acyclic(self._dependencies) else 10
+        budget = default_budget(self._dependencies, 10)
         result = chase(anchor, self._dependencies, max_rounds=budget)
         if result.successful:
             return result.instance

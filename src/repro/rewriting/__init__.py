@@ -11,6 +11,7 @@ from .bounds import (
     tgd_size_bound,
 )
 from .rewrite import (
+    PreflightError,
     RewriteResult,
     RewriteStatus,
     frontier_guarded_to_guarded,
@@ -29,7 +30,7 @@ __all__ = [
     "exact_guarded_count", "exact_linear_count", "guarded_body_bound",
     "guarded_candidate_bound", "head_bound", "linear_body_bound",
     "linear_candidate_bound", "tgd_size_bound",
-    "RewriteResult", "RewriteStatus", "frontier_guarded_to_guarded",
+    "PreflightError", "RewriteResult", "RewriteStatus", "frontier_guarded_to_guarded",
     "guarded_to_linear", "minimize_tgds", "rewrite",
     "SeparationWitness", "guarded_vs_frontier_guarded_witness",
     "linear_vs_guarded_witness", "verify_separation",

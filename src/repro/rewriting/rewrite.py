@@ -66,6 +66,7 @@ from ..telemetry import TELEMETRY, MetricsProbe, span
 __all__ = [
     "RewriteStatus",
     "RewriteResult",
+    "PreflightError",
     "guarded_to_linear",
     "frontier_guarded_to_guarded",
     "rewrite",
@@ -77,6 +78,21 @@ class RewriteStatus:
     SUCCESS = "success"
     FAILURE = "failure"
     INCONCLUSIVE = "inconclusive"
+
+
+class PreflightError(ValueError):
+    """The source set is outside the algorithm's input fragment.
+
+    Raised before any search starts.  ``diagnostics`` carries one
+    explained finding per offending rule (code ``R001``), each with the
+    concrete witness — the variable no body atom covers, or the body
+    atom that breaks linearity — produced by
+    :mod:`repro.analysis.fragments`.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        super().__init__(message)
+        self.diagnostics = diagnostics
 
 
 @dataclass(frozen=True)
@@ -109,6 +125,7 @@ class RewriteResult:
     pruned_candidates: int = 0
     exhausted: bool = False
     jobs: int = 1
+    short_circuit: bool = False
 
     @property
     def succeeded(self) -> bool:
@@ -123,6 +140,8 @@ class RewriteResult:
             f"{len(self.unknown_candidates)} unknown, "
             f"{self.elapsed_seconds:.3f}s)"
         )
+        if self.short_circuit:
+            header += " [source already in target class]"
         if self.exhausted:
             header += " [search budget exhausted]"
         if self.rewriting is not None:
@@ -169,6 +188,81 @@ def _subsumption_prune(
         ).is_true
 
     return prune
+
+
+def _require_fragment(
+    source: Sequence[TGD], cls: TGDClass, algorithm: str
+) -> None:
+    """Pre-flight the input fragment; raise :class:`PreflightError` with
+    explained ``R001`` diagnostics when a source rule falls outside."""
+    from ..analysis.diagnostics import Diagnostic, Severity
+    from ..analysis.fragments import explain_fragment
+
+    offenders = [
+        (index, explanation)
+        for index, tgd in enumerate(source)
+        for explanation in (explain_fragment(tgd, cls),)
+        if not explanation.member
+    ]
+    if not offenders:
+        return
+    diagnostics = tuple(
+        Diagnostic(
+            code="R001",
+            severity=Severity.ERROR,
+            message=f"{algorithm} expects {cls} input: {exp.reason}",
+            rule=index,
+            witness=exp.witness(),
+            tags=("rewrite", "preflight"),
+        )
+        for index, exp in offenders
+    )
+    index, exp = offenders[0]
+    raise PreflightError(
+        f"{algorithm} expects a set of {cls} tgds; rule {index} is not "
+        f"({exp.reason}; witness: {exp.witness()})",
+        diagnostics,
+    )
+
+
+def _short_circuit_result(
+    source: tuple[TGD, ...],
+    target_class: TGDClass,
+    *,
+    minimize: bool,
+    max_rounds: int | None,
+    jobs: int,
+) -> RewriteResult:
+    """SUCCESS without a search: the source already lies in the target
+    class, so it is its own rewriting (only taken when no enumeration
+    caps restrict the candidate space — a capped call explicitly asks
+    whether the *restricted* fragment suffices)."""
+    start = time.perf_counter()
+    probe = MetricsProbe()
+    with span(
+        "rewrite", target=str(target_class), source_size=len(source)
+    ) as sp:
+        rewriting = source
+        if minimize:
+            with span("rewrite.minimize"):
+                rewriting = minimize_tgds(source, max_rounds=max_rounds)
+        if TELEMETRY.enabled:
+            TELEMETRY.count("rewrite.short_circuit")
+        sp.set(status=RewriteStatus.SUCCESS, short_circuit=True)
+        return RewriteResult(
+            status=RewriteStatus.SUCCESS,
+            rewriting=rewriting,
+            source=source,
+            target_class=target_class,
+            width=set_width(source),
+            candidates_considered=0,
+            entailed_candidates=len(rewriting),
+            unknown_candidates=(),
+            elapsed_seconds=time.perf_counter() - start,
+            metrics=probe.delta(),
+            jobs=jobs,
+            short_circuit=True,
+        )
 
 
 def _rewrite_with_candidates(
@@ -275,10 +369,15 @@ def guarded_to_linear(
 
     Complete by the Linearization Lemma; the candidate space is complete
     up to logical equivalence when ``max_head_atoms is None``.
+
+    Pre-flight: a non-guarded source raises :class:`PreflightError`
+    with the witnessing unguarded variable.  (The search always runs,
+    even for already-linear sources — the algorithm entry points are
+    the reference implementations; use :func:`rewrite` for the
+    short-circuiting driver.)
     """
     source = tuple(source)
-    if not all_in_class(source, TGDClass.GUARDED):
-        raise ValueError("Algorithm 1 expects a set of guarded tgds")
+    _require_fragment(source, TGDClass.GUARDED, "Algorithm 1 (G-to-L)")
     schema = schema or _combined_schema(source)
     n, m = set_width(source)
     candidates = CandidateSource.from_enumerator(
@@ -314,10 +413,16 @@ def frontier_guarded_to_guarded(
     equivalent guarded set from ``GTGD_{n,m}``, or report ⊥.
 
     Complete by the Guardedization Lemma (with unrestricted caps).
+
+    Pre-flight: a non-frontier-guarded source raises
+    :class:`PreflightError` with the witnessing frontier variable.
+    (As with Algorithm 1, the search always runs; :func:`rewrite` is
+    the short-circuiting driver.)
     """
     source = tuple(source)
-    if not all_in_class(source, TGDClass.FRONTIER_GUARDED):
-        raise ValueError("Algorithm 2 expects frontier-guarded tgds")
+    _require_fragment(
+        source, TGDClass.FRONTIER_GUARDED, "Algorithm 2 (FG-to-G)"
+    )
     schema = schema or _combined_schema(source)
     n, m = set_width(source)
     candidates = CandidateSource.from_enumerator(
@@ -361,8 +466,29 @@ def rewrite(
     ``TGD_{n,m}``-ontology).  FRONTIER_GUARDED searches ``FGTGD_{n,m}``
     (justified by Lemma 8.3); FULL searches ``TGD_{n,0}`` (Corollary 5.1
     scopes when it can succeed).
+
+    Pre-flight: when the source already lies in the target class and no
+    enumeration caps were passed, the search is skipped and the source
+    is returned as its own rewriting (``short_circuit=True`` on the
+    result).  A capped call always searches — the caps ask whether the
+    *restricted* space suffices, which the source may not answer.
     """
     source = tuple(source)
+    if target_class not in (
+        TGDClass.LINEAR,
+        TGDClass.GUARDED,
+        TGDClass.FRONTIER_GUARDED,
+        TGDClass.FULL,
+    ):
+        raise ValueError(f"unsupported rewrite target {target_class}")
+    if not caps and all_in_class(source, target_class):
+        return _short_circuit_result(
+            source,
+            target_class,
+            minimize=minimize,
+            max_rounds=max_rounds,
+            jobs=jobs,
+        )
     schema = schema or _combined_schema(source)
     n, m = set_width(source)
     if target_class is TGDClass.LINEAR:

@@ -1,0 +1,524 @@
+"""Tests for `repro.analysis`: the certificate lattice, budget gating,
+hygiene, stratification, the lint driver, and the engine wiring
+(chase ``certificate="auto"``, entailment gating parity, rewrite
+pre-flight and short-circuit)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Certificate,
+    Instance,
+    PreflightError,
+    Schema,
+    StopReason,
+    TGDClass,
+    TriBool,
+    chase,
+    entails,
+    parse_dependency,
+    parse_tgds,
+    rewrite,
+    run_lint,
+)
+from repro.analysis import (
+    certificate_for,
+    certificate_gating,
+    certificate_gating_enabled,
+    clear_certificate_cache,
+    default_budget,
+    is_jointly_acyclic,
+    is_super_weakly_acyclic,
+    set_certificate_gating,
+)
+from repro.analysis.diagnostics import Severity, sort_diagnostics
+from repro.analysis.hygiene import (
+    reachability_diagnostics,
+    subsumption_diagnostics,
+    unused_variable_diagnostics,
+)
+from repro.analysis.lint import certificate_diagnostics
+from repro.analysis.sarif import sarif_payload
+from repro.analysis.stratification import stratification_diagnostics
+from repro.chase import ChaseError, is_weakly_acyclic
+from repro.rewriting import frontier_guarded_to_guarded, guarded_to_linear
+from repro.telemetry import TELEMETRY, MemorySink
+
+EP = Schema.of(("E", 2), ("P", 1))
+AR = Schema.of(("A", 1), ("R", 2), ("B", 1))
+BS = Schema.of(("B", 1), ("S", 3))
+ABC = Schema.of(("A", 1), ("B", 1), ("C", 1))
+
+
+def wa_set():
+    """Weakly acyclic (hence everything below it in the lattice)."""
+    return parse_tgds("P(x) -> exists z . E(x, z)", EP)
+
+
+def ja_not_wa_set():
+    """Jointly acyclic but not weakly acyclic: the position cycle on
+    R[1] never feeds the *existential variable* z back into itself —
+    z lands in R[1], w is minted from y drawn from R[1], but w's
+    frontier never includes a position z reaches existentially twice."""
+    return parse_tgds(
+        "A(x) -> exists z . R(x, z)\n"
+        "R(x, y), A(y) -> exists w . R(y, w)",
+        AR,
+    )
+
+
+def swa_not_ja_set():
+    """Super-weakly acyclic but not jointly acyclic: position-level
+    analysis sees y1 -> y1, but the Skolem-level trigger check knows
+    S(u, w, w) cannot unify with a head atom carrying two *distinct*
+    existentials in its last two slots."""
+    return parse_tgds(
+        "B(x) -> exists y1, y2 . S(x, y1, y2), S(x, y2, y1)\n"
+        "S(u, w, w) -> B(w)",
+        BS,
+    )
+
+
+def uncertified_set():
+    """The classic non-terminating rule: nothing in the lattice applies."""
+    return parse_tgds("E(x, y) -> exists z . E(y, z)", EP)
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    """Telemetry off/zeroed and the certificate memo cold, per test."""
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+    clear_certificate_cache()
+    set_certificate_gating(True)
+    yield
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+    clear_certificate_cache()
+    set_certificate_gating(True)
+
+
+class TestCertificateLattice:
+    def test_weakly_acyclic_gets_strongest_certificate(self):
+        report = certificate_for(wa_set())
+        assert report.certificate is Certificate.WEAK_ACYCLICITY
+        assert report.cycle is None
+        assert report.guarantees_termination
+
+    def test_jointly_acyclic_separation(self):
+        sigma = ja_not_wa_set()
+        assert not is_weakly_acyclic(sigma)
+        assert is_jointly_acyclic(sigma)
+        assert certificate_for(sigma).certificate is Certificate.JOINT_ACYCLICITY
+
+    def test_super_weakly_acyclic_separation(self):
+        sigma = swa_not_ja_set()
+        assert not is_weakly_acyclic(sigma)
+        assert not is_jointly_acyclic(sigma)
+        assert is_super_weakly_acyclic(sigma)
+        assert (
+            certificate_for(sigma).certificate
+            is Certificate.SUPER_WEAK_ACYCLICITY
+        )
+
+    def test_uncertified_set_carries_cycle_witness(self):
+        report = certificate_for(uncertified_set())
+        assert report.certificate is Certificate.NONE
+        assert report.cycle == ("rule0", "rule0")
+        assert not report.guarantees_termination
+
+    def test_containment_on_the_separating_family(self):
+        # WA => JA => SWA must hold wherever the stronger one does.
+        for sigma in (wa_set(), ja_not_wa_set(), swa_not_ja_set()):
+            if is_weakly_acyclic(sigma):
+                assert is_jointly_acyclic(sigma)
+            if is_jointly_acyclic(sigma):
+                assert is_super_weakly_acyclic(sigma)
+
+    def test_strength_order_and_implication(self):
+        chain = (
+            Certificate.WEAK_ACYCLICITY,
+            Certificate.JOINT_ACYCLICITY,
+            Certificate.SUPER_WEAK_ACYCLICITY,
+            Certificate.NONE,
+        )
+        for stronger, weaker in zip(chain, chain[1:]):
+            assert stronger.implies(weaker)
+            assert not weaker.implies(stronger)
+
+    def test_empty_set_is_weakly_acyclic(self):
+        assert (
+            certificate_for(()).certificate is Certificate.WEAK_ACYCLICITY
+        )
+
+
+class TestSoundnessScope:
+    """Joint/super-weak certificates are proven for tgd-only sets;
+    weak acyclicity covers tgds + egds (Fagin et al.)."""
+
+    def test_weak_acyclicity_covers_egds(self):
+        deps = list(wa_set()) + [
+            parse_dependency("E(x, y), E(x, z) -> y = z", EP)
+        ]
+        report = certificate_for(deps)
+        assert report.certificate is Certificate.WEAK_ACYCLICITY
+        assert report.guarantees_termination
+
+    def test_refinement_out_of_scope_with_egds(self):
+        deps = list(ja_not_wa_set()) + [
+            parse_dependency("R(x, y), R(x, z) -> y = z", AR)
+        ]
+        report = certificate_for(deps)
+        assert report.certificate is Certificate.JOINT_ACYCLICITY
+        assert not report.tgd_only
+        assert not report.guarantees_termination
+
+    def test_denials_do_not_void_refinements(self):
+        deps = list(ja_not_wa_set()) + [
+            parse_dependency("R(x, x) -> false", AR)
+        ]
+        report = certificate_for(deps)
+        assert report.certificate is Certificate.JOINT_ACYCLICITY
+        assert report.guarantees_termination
+
+    def test_certificate_diagnostics_t001_t002_t003(self):
+        (t001,) = certificate_diagnostics(certificate_for(wa_set()))
+        assert t001.code == "T001" and t001.severity is Severity.INFO
+        assert t001.witness == "weak-acyclicity"
+
+        (t002,) = certificate_diagnostics(certificate_for(uncertified_set()))
+        assert t002.code == "T002" and t002.severity is Severity.WARNING
+        assert t002.witness == "rule0 -> rule0"
+
+        deps = list(ja_not_wa_set()) + [
+            parse_dependency("R(x, y), R(x, z) -> y = z", AR)
+        ]
+        (t003,) = certificate_diagnostics(certificate_for(deps))
+        assert t003.code == "T003" and t003.severity is Severity.WARNING
+        assert t003.witness == "joint-acyclicity"
+
+
+class TestMemoization:
+    def test_computed_once_then_cache_hits(self):
+        TELEMETRY.enable(MemorySink())
+        sigma = wa_set()
+        certificate_for(sigma)
+        certificate_for(sigma)
+        certificate_for(sigma)
+        counters = TELEMETRY.snapshot()
+        assert counters["analysis.certificates_computed"] == 1
+        assert counters["analysis.certificate_cache_hits"] == 2
+
+    def test_renaming_variants_share_one_entry(self):
+        TELEMETRY.enable(MemorySink())
+        certificate_for(parse_tgds("P(x) -> exists z . E(x, z)", EP))
+        certificate_for(parse_tgds("P(u) -> exists v . E(u, v)", EP))
+        counters = TELEMETRY.snapshot()
+        assert counters["analysis.certificates_computed"] == 1
+        assert counters["analysis.certificate_cache_hits"] == 1
+
+    def test_cache_false_recomputes(self):
+        TELEMETRY.enable(MemorySink())
+        sigma = wa_set()
+        certificate_for(sigma, cache=False)
+        certificate_for(sigma, cache=False)
+        assert TELEMETRY.snapshot()["analysis.certificates_computed"] == 2
+
+
+class TestDefaultBudget:
+    def test_certified_sets_drop_the_budget(self):
+        assert default_budget(wa_set(), 7) is None
+        assert default_budget(ja_not_wa_set(), 7) is None
+        assert default_budget(swa_not_ja_set(), 7) is None
+
+    def test_uncertified_sets_keep_the_fallback(self):
+        assert default_budget(uncertified_set(), 7) == 7
+
+    def test_refinements_do_not_gate_with_egds(self):
+        deps = list(ja_not_wa_set()) + [
+            parse_dependency("R(x, y), R(x, z) -> y = z", AR)
+        ]
+        assert default_budget(deps, 7) == 7
+
+    def test_gating_off_reproduces_legacy_weak_acyclicity(self):
+        with certificate_gating(False):
+            assert default_budget(wa_set(), 7) is None
+            # legacy path ignores the refinements entirely:
+            assert default_budget(ja_not_wa_set(), 7) == 7
+
+    def test_gating_counter(self):
+        TELEMETRY.enable(MemorySink())
+        default_budget(wa_set(), 7)
+        default_budget(uncertified_set(), 7)
+        assert TELEMETRY.snapshot()["chase.certificate"] == 1
+
+    def test_context_manager_restores_state(self):
+        assert certificate_gating_enabled()
+        with certificate_gating(False):
+            assert not certificate_gating_enabled()
+        assert certificate_gating_enabled()
+
+
+class TestEngineWiring:
+    def test_chase_auto_drops_budget_for_certified_sets(self):
+        db = Instance.parse("P(a)", EP)
+        capped = chase(db, wa_set(), max_rounds=0)
+        assert capped.stop_reason == StopReason.ROUND_BUDGET
+        gated = chase(db, wa_set(), max_rounds=0, certificate="auto")
+        assert gated.stop_reason == StopReason.FIXPOINT
+
+    def test_chase_auto_keeps_budget_for_uncertified_sets(self):
+        db = Instance.parse("E(a, b)", EP)
+        result = chase(db, uncertified_set(), max_rounds=2, certificate="auto")
+        assert result.stop_reason == StopReason.ROUND_BUDGET
+
+    def test_chase_auto_counts_certificate_uses(self):
+        TELEMETRY.enable(MemorySink())
+        db = Instance.parse("P(a)", EP)
+        chase(db, wa_set(), max_rounds=3, certificate="auto")
+        assert TELEMETRY.snapshot()["chase.certificate"] == 1
+
+    def test_chase_rejects_unknown_certificate_mode(self):
+        with pytest.raises(ChaseError):
+            chase(Instance.parse("P(a)", EP), wa_set(), certificate="maybe")
+
+    def test_entailment_bit_identical_across_gating(self):
+        premises = parse_tgds("A(x) -> B(x)\nB(x) -> C(x)", ABC)
+        conclusion = parse_tgds("A(x) -> C(x)", ABC)[0]
+        with certificate_gating(True):
+            on = entails(premises, conclusion, cache=False)
+        with certificate_gating(False):
+            off = entails(premises, conclusion, cache=False)
+        assert on is off is TriBool.TRUE
+
+    def test_entailment_upgrades_on_jointly_acyclic_premises(self):
+        # On a JA-not-WA set the gated path chases to a fixpoint and
+        # answers definitively where the legacy path must hedge.
+        premises = ja_not_wa_set()
+        conclusion = parse_tgds("A(x) -> exists z . R(x, z)", AR)[0]
+        with certificate_gating(True):
+            assert entails(premises, conclusion, cache=False) is TriBool.TRUE
+        with certificate_gating(False):
+            assert entails(premises, conclusion, cache=False) is TriBool.TRUE
+
+
+class TestHygiene:
+    def test_unused_variable_flagged_in_multi_atom_body(self):
+        (dep,) = parse_tgds("R(x, y), A(y), A(w) -> B(x)", AR)
+        diags = unused_variable_diagnostics(0, dep)
+        assert [d.code for d in diags] == ["H001"]
+        assert diags[0].witness == "w in A(w)"
+
+    def test_single_atom_projection_is_idiomatic(self):
+        (dep,) = parse_tgds("R(x, y) -> B(x)", AR)
+        assert unused_variable_diagnostics(0, dep) == ()
+
+    def test_egd_sides_count_as_exported(self):
+        dep = parse_dependency("R(x, y), R(x, z) -> y = z", AR)
+        assert unused_variable_diagnostics(0, dep) == ()
+
+    def test_denial_wildcards_are_exempt(self):
+        dep = parse_dependency("R(x, y), A(w) -> false", AR)
+        assert unused_variable_diagnostics(0, dep) == ()
+
+    def test_mutually_derived_predicates_are_unreachable(self):
+        schema = Schema.of(("Ghost", 1), ("Phantom", 1), ("C", 1))
+        deps = parse_tgds(
+            "Ghost(x) -> Phantom(x)\nPhantom(x), C(w) -> Ghost(x)", schema
+        )
+        diags = reachability_diagnostics(deps)
+        assert {d.witness for d in diags if d.code == "H002"} == {
+            "Ghost",
+            "Phantom",
+        }
+        dead = sorted(d.rule for d in diags if d.code == "H003")
+        assert dead == [0, 1]
+
+    def test_no_extensional_predicate_skips_the_pass(self):
+        assert reachability_diagnostics(uncertified_set()) == ()
+
+    def test_subsumed_rule_names_its_subsumer(self):
+        deps = parse_tgds(
+            "R(x, y) -> B(y)\nR(x, y), A(x) -> B(y)", AR
+        )
+        diags = subsumption_diagnostics(deps)
+        assert [(d.code, d.rule, d.witness) for d in diags] == [
+            ("H004", 1, "rule 0")
+        ]
+
+    def test_identical_rules_subsume_each_other(self):
+        deps = parse_tgds("A(x) -> B(x)\nA(u) -> B(u)", ABC)
+        diags = subsumption_diagnostics(deps)
+        assert [(d.code, d.rule) for d in diags] == [
+            ("H004", 0),
+            ("H004", 1),
+        ]
+
+    def test_redundant_rule_needs_the_whole_set(self):
+        deps = parse_tgds("A(x) -> B(x)\nB(x) -> C(x)\nA(x) -> C(x)", ABC)
+        diags = subsumption_diagnostics(deps)
+        assert [(d.code, d.rule) for d in diags] == [("H005", 2)]
+
+
+class TestStratification:
+    def test_egd_reading_derived_predicate(self):
+        deps = list(parse_tgds("A(x) -> exists z . R(x, z)", AR)) + [
+            parse_dependency("R(x, y), R(x, z) -> y = z", AR)
+        ]
+        (diag,) = stratification_diagnostics(deps)
+        assert diag.code == "S001" and diag.severity is Severity.WARNING
+        assert diag.rule == 1
+        assert diag.witness == "R derived by rule 0"
+
+    def test_stratified_egd_is_silent(self):
+        deps = list(parse_tgds("A(x) -> B(x)", AR)) + [
+            parse_dependency("R(x, y), R(x, z) -> y = z", AR)
+        ]
+        assert stratification_diagnostics(deps) == ()
+
+    def test_denial_reading_derived_predicate_is_info(self):
+        deps = list(parse_tgds("A(x) -> B(x)", AR)) + [
+            parse_dependency("B(x) -> false", AR)
+        ]
+        (diag,) = stratification_diagnostics(deps)
+        assert diag.code == "S002" and diag.severity is Severity.INFO
+
+
+class TestLintDriver:
+    def lintable_set(self):
+        schema = Schema.of(("A", 1), ("R", 2), ("B", 1), ("C", 1))
+        return list(
+            parse_tgds(
+                "A(x) -> exists z . R(x, z)\n"
+                "R(x, y), A(y) -> exists w . R(y, w)\n"
+                "R(x, y) -> B(y)\n"
+                "R(x, y), A(x) -> B(y)",
+                schema,
+            )
+        ) + [parse_dependency("R(x, y), R(x, z) -> y = z", schema)]
+
+    def test_repeated_runs_are_identical(self):
+        first = run_lint(self.lintable_set())
+        second = run_lint(self.lintable_set())
+        assert first == second
+
+    def test_jobs_do_not_change_the_report(self):
+        sequential = run_lint(self.lintable_set(), jobs=1)
+        parallel = run_lint(self.lintable_set(), jobs=2)
+        assert sequential == parallel
+
+    def test_diagnostics_come_out_in_canonical_order(self):
+        report = run_lint(self.lintable_set())
+        assert report.diagnostics == sort_diagnostics(report.diagnostics)
+        # per-rule findings first (ascending rule), set-level last.
+        rules = [d.rule for d in report.diagnostics]
+        per_rule = [r for r in rules if r is not None]
+        assert per_rule == sorted(per_rule)
+        first_set_level = rules.index(None) if None in rules else len(rules)
+        assert all(r is None for r in rules[first_set_level:])
+
+    def test_expected_findings_of_the_mixed_set(self):
+        report = run_lint(self.lintable_set())
+        codes = {d.code for d in report.diagnostics}
+        assert {"F001", "F002", "F003", "F004", "H004", "S001", "T003"} <= codes
+        assert report.certificate is Certificate.JOINT_ACYCLICITY
+        assert report.worst is Severity.WARNING
+        assert report.exit_code == 0
+
+    def test_entailment_false_skips_subsumption(self):
+        report = run_lint(self.lintable_set(), entailment=False)
+        codes = {d.code for d in report.diagnostics}
+        assert "H004" not in codes and "H005" not in codes
+
+    def test_clean_set_has_only_info(self):
+        report = run_lint(wa_set())
+        assert report.worst is Severity.INFO
+        assert report.certificate is Certificate.WEAK_ACYCLICITY
+
+
+class TestRewritePreflight:
+    def unguarded(self):
+        schema = Schema.of(("R", 2), ("B", 1))
+        return parse_tgds("R(x, y), R(y, z) -> B(x)", schema)
+
+    def test_algorithm1_rejects_unguarded_input_with_r001(self):
+        with pytest.raises(PreflightError) as err:
+            guarded_to_linear(self.unguarded(), max_rounds=1)
+        (diag,) = err.value.diagnostics
+        assert diag.code == "R001"
+        assert diag.severity is Severity.ERROR
+        assert diag.rule == 0
+        assert diag.witness is not None
+        assert "Algorithm 1" in diag.message
+
+    def test_algorithm2_rejects_non_frontier_guarded_input(self):
+        schema = Schema.of(("R", 2), ("S", 2))
+        sigma = parse_tgds("R(x, y), R(y, z) -> S(x, z)", schema)
+        with pytest.raises(PreflightError) as err:
+            frontier_guarded_to_guarded(sigma, max_rounds=1)
+        (diag,) = err.value.diagnostics
+        assert diag.code == "R001" and "Algorithm 2" in diag.message
+
+    def test_rewrite_short_circuits_source_already_in_target(self):
+        schema = Schema.of(("R", 2), ("B", 1))
+        sigma = parse_tgds("R(x, y) -> B(x)", schema)
+        result = rewrite(sigma, TGDClass.LINEAR, max_rounds=2)
+        assert result.succeeded
+        assert result.short_circuit
+        assert result.candidates_considered == 0
+        assert result.rewriting == tuple(sigma)
+        assert "[source already in target class]" in str(result)
+
+    def test_short_circuit_counts_telemetry(self):
+        TELEMETRY.enable(MemorySink())
+        schema = Schema.of(("R", 2), ("B", 1))
+        sigma = parse_tgds("R(x, y) -> B(x)", schema)
+        rewrite(sigma, TGDClass.LINEAR, max_rounds=2)
+        assert TELEMETRY.snapshot()["rewrite.short_circuit"] == 1
+
+    def test_enumeration_caps_suppress_the_short_circuit(self):
+        schema = Schema.of(("B", 1), ("C", 1))
+        sigma = parse_tgds("B(x) -> C(x)", schema)
+        result = rewrite(
+            sigma, TGDClass.LINEAR, max_rounds=2, max_head_atoms=1
+        )
+        assert not result.short_circuit
+        assert result.candidates_considered > 0
+
+    def test_unsupported_target_still_raises(self):
+        schema = Schema.of(("B", 1), ("C", 1))
+        sigma = parse_tgds("B(x) -> C(x)", schema)
+        with pytest.raises(ValueError, match="unsupported rewrite target"):
+            rewrite(sigma, TGDClass.TGD)
+
+
+class TestSarifPayload:
+    def test_payload_shape_and_levels(self):
+        report = run_lint(uncertified_set())
+        payload = sarif_payload(report)
+        assert payload["version"] == "2.1.0"
+        (run,) = payload["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        assert run["properties"]["terminationCertificate"] == "none"
+        for result, diag in zip(run["results"], report.diagnostics):
+            assert result["ruleId"] == diag.code
+            assert result["level"] == diag.severity.sarif_level
+            assert rule_ids[result["ruleIndex"]] == diag.code
+
+    def test_rule_lines_become_regions(self):
+        report = run_lint(wa_set())
+        payload = sarif_payload(
+            report, artifact_uri="demo.rules", rule_lines=[3]
+        )
+        regions = [
+            res["locations"][0]["physicalLocation"]["region"]["startLine"]
+            for res in payload["runs"][0]["results"]
+            if "region" in res.get("locations", [{}])[0].get(
+                "physicalLocation", {}
+            )
+        ]
+        assert regions and set(regions) == {3}

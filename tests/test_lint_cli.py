@@ -1,0 +1,189 @@
+"""End-to-end tests for `repro lint`: determinism across runs and
+``--jobs``, the three output formats, SARIF schema validation, and the
+shipped example rule files."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO_ROOT / "examples" / "rules"
+SARIF_SCHEMA = (
+    Path(__file__).resolve().parent / "data" / "sarif-2.1.0-subset.schema.json"
+)
+
+
+@pytest.fixture
+def mixed_rules(tmp_path):
+    path = tmp_path / "mixed.rules"
+    path.write_text(
+        "A(x) -> exists z . R(x, z)\n"
+        "R(x, y), A(y) -> exists w . R(y, w)\n"
+        "R(x, y) -> B(y)\n"
+        "R(x, y), A(x) -> B(y)\n"
+        "R(x, y), R(x, z) -> y = z\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def clean_rules(tmp_path):
+    path = tmp_path / "clean.rules"
+    path.write_text("Enrolled(s, c) -> Student(s)\n")
+    return str(path)
+
+
+def lint_output(capsys, argv) -> tuple[int, str]:
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+class TestDeterminism:
+    def test_repeated_runs_are_byte_identical(self, mixed_rules, capsys):
+        code1, out1 = lint_output(capsys, ["lint", mixed_rules])
+        code2, out2 = lint_output(capsys, ["lint", mixed_rules])
+        assert (code1, out1) == (code2, out2)
+
+    def test_jobs_do_not_change_the_output(self, mixed_rules, capsys):
+        _, sequential = lint_output(capsys, ["lint", mixed_rules])
+        _, parallel = lint_output(capsys, ["lint", mixed_rules, "--jobs", "2"])
+        assert sequential == parallel
+
+    def test_sarif_is_byte_identical_across_jobs(self, mixed_rules, capsys):
+        _, one = lint_output(
+            capsys, ["lint", mixed_rules, "--format", "sarif"]
+        )
+        _, two = lint_output(
+            capsys,
+            ["lint", mixed_rules, "--format", "sarif", "--jobs", "2"],
+        )
+        assert one == two
+
+
+class TestFormats:
+    def test_text_header_and_findings(self, mixed_rules, capsys):
+        code, out = lint_output(capsys, ["lint", mixed_rules])
+        assert code == 0
+        assert "termination certificate: joint-acyclicity" in out
+        assert "T003" in out and "S001" in out and "H004" in out
+
+    def test_json_round_trips(self, mixed_rules, capsys):
+        _, out = lint_output(capsys, ["lint", mixed_rules, "--format", "json"])
+        payload = json.loads(out)
+        assert payload["certificate"] == "joint-acyclicity"
+        assert len(payload["rules"]) == 5
+        codes = {diag["code"] for diag in payload["diagnostics"]}
+        assert {"T003", "S001", "H004"} <= codes
+
+    def test_sarif_validates_against_the_schema(self, mixed_rules, capsys):
+        jsonschema = pytest.importorskip("jsonschema")
+        _, out = lint_output(
+            capsys, ["lint", mixed_rules, "--format", "sarif"]
+        )
+        log = json.loads(out)
+        schema = json.loads(SARIF_SCHEMA.read_text())
+        jsonschema.validate(log, schema)
+        assert log["version"] == "2.1.0"
+
+    def test_sarif_regions_point_at_source_lines(self, mixed_rules, capsys):
+        _, out = lint_output(
+            capsys, ["lint", mixed_rules, "--format", "sarif"]
+        )
+        log = json.loads(out)
+        (run,) = log["runs"]
+        lines = {
+            res["locations"][0]["physicalLocation"]["region"]["startLine"]
+            for res in run["results"]
+            if "region"
+            in res.get("locations", [{}])[0].get("physicalLocation", {})
+        }
+        # the fixture file has one rule per line, lines 1-5.
+        assert lines <= {1, 2, 3, 4, 5} and lines
+
+    def test_output_flag_writes_a_file(self, mixed_rules, tmp_path, capsys):
+        target = tmp_path / "report.sarif"
+        code = main(
+            [
+                "lint",
+                mixed_rules,
+                "--format",
+                "sarif",
+                "--output",
+                str(target),
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == ""
+        assert json.loads(target.read_text())["version"] == "2.1.0"
+
+    def test_no_entailment_skips_subsumption(self, mixed_rules, capsys):
+        _, out = lint_output(capsys, ["lint", mixed_rules, "--no-entailment"])
+        assert "H004" not in out
+
+    def test_verbose_repeats_the_rule(self, mixed_rules, capsys):
+        _, out = lint_output(capsys, ["lint", mixed_rules, "--verbose"])
+        assert "\n    R(x, y), R(x, z) -> y = z" in out
+
+
+class TestShippedExamples:
+    def test_university_is_clean(self, capsys):
+        code, out = lint_output(
+            capsys, ["lint", str(EXAMPLES / "university.rules")]
+        )
+        assert code == 0
+        assert "termination certificate: weak-acyclicity" in out
+        assert "warning" not in out and "error" not in out
+
+    def test_needs_attention_exhibits_the_documented_findings(self, capsys):
+        code, out = lint_output(
+            capsys, ["lint", str(EXAMPLES / "needs_attention.rules")]
+        )
+        assert code == 0
+        for expected in ("T003", "S001", "H001", "H002", "H003", "H004"):
+            assert expected in out, expected
+
+    def test_nonterminating_has_a_cycle_witness(self, capsys):
+        _, out = lint_output(
+            capsys, ["lint", str(EXAMPLES / "nonterminating.rules")]
+        )
+        assert "T002" in out
+        assert "rule0 -> rule0" in out
+
+    def test_every_example_sarif_validates(self, capsys):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads(SARIF_SCHEMA.read_text())
+        for rules in sorted(EXAMPLES.glob("*.rules")):
+            _, out = lint_output(
+                capsys, ["lint", str(rules), "--format", "sarif"]
+            )
+            jsonschema.validate(json.loads(out), schema)
+
+
+class TestChaseCertificateFlag:
+    def test_auto_reaches_fixpoint_despite_budget(self, clean_rules, tmp_path, capsys):
+        data = tmp_path / "db.txt"
+        data.write_text("Enrolled(ada, logic)")
+        code = main(
+            [
+                "chase",
+                clean_rules,
+                str(data),
+                "--max-rounds",
+                "0",
+                "--certificate",
+                "auto",
+            ]
+        )
+        assert code == 0
+        assert "Student: (ada)" in capsys.readouterr().out
+
+    def test_off_respects_the_budget(self, clean_rules, tmp_path, capsys):
+        data = tmp_path / "db.txt"
+        data.write_text("Enrolled(ada, logic)")
+        main(["chase", clean_rules, str(data), "--max-rounds", "0"])
+        assert "Student: (ada)" not in capsys.readouterr().out

@@ -61,3 +61,42 @@ class TestWeakAcyclicity:
         assert is_weakly_acyclic(deps)
         result = chase(Instance.parse("P(a)", SCHEMA), deps)
         assert result.terminated
+
+
+class TestDeterministicWitness:
+    """`weak_acyclicity_report` pins one canonical cycle witness: the
+    first special in-component edge in sorted node/successor order,
+    closed by a BFS shortest path back to its source."""
+
+    def test_self_loop_witness_is_pinned(self):
+        report = weak_acyclicity_report(
+            rules("E(x, y) -> exists z . E(y, z)")
+        )
+        assert not report.weakly_acyclic
+        assert report.cycle == (("E", 1), ("E", 1))
+
+    def test_two_rule_cycle_witness_is_pinned(self):
+        report = weak_acyclicity_report(
+            rules("P(x) -> exists z . E(x, z)\nE(x, z) -> P(z)")
+        )
+        assert not report.weakly_acyclic
+        assert report.cycle == (("P", 0), ("E", 1), ("P", 0))
+
+    def test_witness_is_stable_across_runs(self):
+        text = "P(x) -> exists z . E(x, z)\nE(x, z) -> P(z)"
+        witnesses = {
+            weak_acyclicity_report(rules(text)).cycle for __ in range(5)
+        }
+        assert len(witnesses) == 1
+
+    def test_witness_edges_exist_in_the_position_graph(self):
+        report = weak_acyclicity_report(
+            rules("P(x) -> exists z . E(x, z)\nE(x, z) -> P(z)")
+        )
+        graph = position_graph(
+            rules("P(x) -> exists z . E(x, z)\nE(x, z) -> P(z)")
+        )
+        cycle = report.cycle
+        edges = list(zip(cycle, cycle[1:]))
+        assert all(graph.has_edge(u, v) for u, v in edges)
+        assert any(graph[u][v]["special"] for u, v in edges)
