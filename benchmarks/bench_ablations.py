@@ -50,6 +50,23 @@ def test_hom_ordering(benchmark, dynamic):
     assert count > 0
 
 
+@pytest.mark.parametrize("plan", ["compiled", "interpreted"])
+def test_hom_plan_ablation(benchmark, plan):
+    # Join-plan compilation vs the dynamic-order interpreter on the
+    # star query (both with most-constrained-first ordering; the
+    # dynamic=False case above ablates the ordering itself).
+    host = star_instance(12)
+    count = benchmark(
+        lambda: sum(1 for __ in all_extensions_of(QUERY, host, plan=plan))
+    )
+    record(
+        f"hom plan={plan}",
+        "same count",
+        count,
+    )
+    assert count > 0
+
+
 @pytest.mark.parametrize("strategy", ["chase-first", "brute-only"])
 def test_witness_search_strategy(benchmark, strategy):
     unary = Schema.of(("R", 1), ("P", 1), ("T", 1))

@@ -129,8 +129,11 @@ def test_dense_graph_strategy_ablation(benchmark, strategy):
     )
     if strategy == "seminaive":
         speedup = _strategy_pair(lambda: random_graph(20, 0.12, seed=7), DENSE_RULES)
-        record("chase dense speedup naive/seminaive", ">=3.0", f"{speedup:.1f}x")
-        assert speedup >= 3.0
+        # Compiled join plans (the default) removed most of the
+        # per-node work the naive engine used to redo every round, so
+        # the strategy gap narrowed from ≥3× to ≥2× on this family.
+        record("chase dense speedup naive/seminaive", ">=2.0", f"{speedup:.1f}x")
+        assert speedup >= 2.0
 
 
 @pytest.mark.parametrize("strategy", ["naive", "seminaive"])
@@ -146,6 +149,79 @@ def test_large_chain_strategy_ablation(benchmark, strategy):
         speedup = _strategy_pair(lambda: reach_chain(80), REACH_RULES)
         record("chase chain speedup naive/seminaive", ">=3.0", f"{speedup:.1f}x")
         assert speedup >= 3.0
+
+
+def _plan_pair(build_db, rules, strategy):
+    """Measured compiled-vs-interpreted speedup: best of three cold
+    runs per plan mode, plan cache cleared so compiles are counted."""
+    from repro.homomorphisms.plans import PLAN_CACHE
+
+    times = {}
+    for plan in ("interpreted", "compiled"):
+        best = None
+        for __ in range(3):
+            PLAN_CACHE.clear()
+            start = time.perf_counter()
+            chase(build_db(), rules, strategy=strategy, plan=plan)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        times[plan] = best
+    return times["interpreted"] / times["compiled"]
+
+
+@pytest.mark.parametrize("plan", ["interpreted", "compiled"])
+def test_dense_graph_plan_ablation(benchmark, plan):
+    # The join-plan ablation on the dense-chase family (EXPERIMENTS.md):
+    # the naive strategy re-matches every rule body each round, so it
+    # isolates raw homomorphism-search throughput — plan compilation,
+    # pre-sorted buckets and forward checking vs the dynamic-order
+    # interpreter.
+    db = random_graph(20, 0.12, seed=7)
+    result = benchmark(chase, db, DENSE_RULES, strategy="naive", plan=plan)
+    assert result.successful
+    if plan == "compiled":
+        import os
+
+        from repro.homomorphisms.plans import PLAN_CACHE
+        from repro.telemetry import TELEMETRY
+
+        speedup = _plan_pair(
+            lambda: random_graph(20, 0.12, seed=7), DENSE_RULES, "naive"
+        )
+        record(
+            "chase dense speedup compiled/interpreted", ">=1.5",
+            f"{speedup:.1f}x",
+        )
+        # Cache efficiency is visible on the semi-naive engine, whose
+        # delta joins look a plan up once per delta fact; the naive
+        # engine amortizes a single lookup over each full enumeration.
+        PLAN_CACHE.clear()
+        TELEMETRY.reset()
+        TELEMETRY.enable(spans=False)
+        try:
+            chase(
+                random_graph(20, 0.12, seed=7), DENSE_RULES,
+                strategy="seminaive", plan="compiled",
+            )
+            counters = TELEMETRY.snapshot()
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+        hits = counters.get("hom.plan_hits", 0)
+        compiles = counters.get("hom.plan_compiles", 0)
+        record(
+            "chase dense plan cache", "hits >> compiles",
+            f"{hits} hits / {compiles} compiles",
+        )
+        assert compiles <= 8
+        assert hits > 20 * compiles
+        # Wall-clock gate only on machines with headroom (same
+        # convention as bench_search.py).
+        if (os.cpu_count() or 1) >= 4:
+            assert speedup >= 1.5, (
+                f"compiled plans only {speedup:.2f}x faster than the "
+                "interpreted search on the dense-chase family"
+            )
 
 
 def test_egd_merging(benchmark):

@@ -66,6 +66,22 @@ def test_path_query_on_clique(benchmark, size):
     assert count > 0
 
 
+@pytest.mark.parametrize("plan", ["compiled", "interpreted"])
+@pytest.mark.parametrize("size", [5, 8])
+def test_path_query_plan_ablation(benchmark, size, plan):
+    # The same query under both search backends: the compiled plan
+    # skips the per-node atom re-selection and per-tuple argument
+    # interpretation; both count the same matches.
+    atoms = parse_atoms("E(x, y), E(y, z), E(z, w)", SCHEMA)
+    target = clique(size)
+    count = benchmark(
+        lambda: sum(
+            1 for __ in all_extensions_of(atoms, target, plan=plan)
+        )
+    )
+    assert count == size * (size - 1) ** 3
+
+
 @pytest.mark.parametrize("length", [50, 100, 200])
 def test_anchored_path_on_long_chain(benchmark, length):
     # One end of the query is pinned by the first atom's bound position;

@@ -46,6 +46,7 @@ from typing import Iterable, Mapping, Sequence, Union
 from ..dependencies.denial import DenialConstraint
 from ..dependencies.egd import EGD
 from ..dependencies.tgd import TGD
+from ..homomorphisms.plans import PLAN_MODES
 from ..homomorphisms.search import all_extensions_of, find_extension, satisfies_atoms
 from ..instances.instance import Instance
 from ..lang.atoms import Atom
@@ -150,13 +151,16 @@ class _State:
             for rel in schema
         }
         self.generation = 0
+        self.epoch = 0
         self.log: list[tuple[Relation, tuple[object, ...]]] = []
         self._index: dict[Relation, dict[tuple[int, object], set[tuple[object, ...]]]] = {}
+        self._sorted: dict[object, tuple[int, tuple[tuple[object, ...], ...]]] = {}
         self._rebuild()
 
     def _rebuild(self) -> None:
         """Recompute the index and log from the relation sets."""
         self._index = {rel: {} for rel in self.relations}
+        self._sorted.clear()
         self.log = []
         for rel, tuples in self.relations.items():
             buckets = self._index[rel]
@@ -176,6 +180,43 @@ class _State:
         bucket = self._index[relation].get((position, element))
         return bucket if bucket is not None else _EMPTY_SET
 
+    # -- sorted views for the compiled join plans ----------------------
+    #
+    # The compiled search path enumerates candidates in the canonical
+    # element_sort_key order.  Sorting a live set per recursion node
+    # (what the interpreted path does) would defeat the plan; instead a
+    # sorted copy of each consulted bucket is cached and invalidated by
+    # the mutation epoch, so enumeration between mutations sorts each
+    # bucket at most once.
+
+    def sorted_tuples(
+        self, relation: Relation
+    ) -> tuple[tuple[object, ...], ...]:
+        entry = self._sorted.get(relation)
+        if entry is None or entry[0] != self.epoch:
+            data = tuple(
+                sorted(self.relations[relation], key=element_sort_key)
+            )
+            self._sorted[relation] = (self.epoch, data)
+            return data
+        return entry[1]
+
+    def sorted_tuples_with(
+        self, relation: Relation, position: int, element: object
+    ) -> tuple[tuple[object, ...], ...]:
+        key = (relation, position, element)
+        entry = self._sorted.get(key)
+        if entry is None or entry[0] != self.epoch:
+            data = tuple(
+                sorted(
+                    self.tuples_with(relation, position, element),
+                    key=element_sort_key,
+                )
+            )
+            self._sorted[key] = (self.epoch, data)
+            return data
+        return entry[1]
+
     # -- mutation ------------------------------------------------------
 
     def snapshot(self) -> Instance:
@@ -190,6 +231,7 @@ class _State:
         if tup in tuples:
             return False
         tuples.add(tup)
+        self.epoch += 1
         buckets = self._index[relation]
         for pos, elem in enumerate(tup):
             buckets.setdefault((pos, elem), set()).add(tup)
@@ -206,6 +248,7 @@ class _State:
                 for tup in tuples
             }
         self.generation += 1
+        self.epoch += 1
         self._rebuild()
 
 
@@ -243,6 +286,7 @@ def _enumerate_triggers(
     dep: TGD,
     cursor: _DeltaCursor,
     strategy: str,
+    plan: str | None,
 ) -> list[dict[Var, object]]:
     """The dependency's candidate triggers for this sweep, canonically
     ordered.
@@ -257,7 +301,7 @@ def _enumerate_triggers(
     """
     univ = dep.universal_variables
     if strategy == "naive" or cursor.generation != state.generation:
-        triggers = list(all_extensions_of(dep.body, state))
+        triggers = list(all_extensions_of(dep.body, state, plan=plan))
     else:
         triggers = []
         delta = state.log[cursor.position:]
@@ -275,7 +319,9 @@ def _enumerate_triggers(
                     partial = _unify_atom(atom, tup)
                     if partial is None:
                         continue
-                    for trig in all_extensions_of(rest, state, partial):
+                    for trig in all_extensions_of(
+                        rest, state, partial, plan=plan
+                    ):
                         key = tuple(trig[v] for v in univ)
                         if key not in seen:
                             seen.add(key)
@@ -317,7 +363,7 @@ def _fire_tgd(
 
 
 def _chase_egd(
-    state: _State, egd: EGD
+    state: _State, egd: EGD, plan: str | None
 ) -> tuple[bool, bool]:
     """Apply one round of egd repairs; returns (changed, failed)."""
     if egd.is_trivial:
@@ -326,7 +372,7 @@ def _chase_egd(
     while True:
         violation = None
         # Search the live state; we break out before mutating it.
-        for trigger in all_extensions_of(egd.body, state):
+        for trigger in all_extensions_of(egd.body, state, plan=plan):
             if trigger[egd.lhs] != trigger[egd.rhs]:
                 violation = (trigger[egd.lhs], trigger[egd.rhs])
                 break
@@ -358,6 +404,7 @@ def chase(
     max_rounds: int | None = None,
     max_facts: int | None = None,
     certificate: str = "off",
+    plan: str | None = None,
 ) -> ChaseResult:
     """Chase ``instance`` with tgds and egds.
 
@@ -380,6 +427,14 @@ def chase(
     joins over the indexed state, the default — or ``"naive"`` — full
     re-enumeration each round).  Both produce the same result; see the
     module docstring.
+
+    ``plan`` selects the homomorphism-search backend for trigger
+    enumeration, egd violation search, denial checks and restricted
+    activity checks: ``"compiled"`` (memoized join plans with
+    forward-checking — the default), ``"interpreted"`` (the reference
+    dynamic-order interpreter), or ``None`` to defer to
+    :data:`repro.homomorphisms.plans.DEFAULT_PLAN`.  Both backends
+    produce bit-identical chase results.
     """
     deps = sorted(dependencies, key=str)
     if variant not in ("restricted", "oblivious"):
@@ -388,6 +443,8 @@ def chase(
         raise ChaseError(f"unknown chase strategy {strategy!r}")
     if certificate not in ("off", "auto"):
         raise ChaseError(f"unknown certificate mode {certificate!r}")
+    if plan is not None and plan not in PLAN_MODES:
+        raise ChaseError(f"unknown join plan mode {plan!r}")
     if certificate == "auto" and max_rounds is not None:
         from ..analysis.certificates import guarantees_termination
 
@@ -439,13 +496,15 @@ def chase(
                 progressed = False
                 for index, dep in enumerate(deps):
                     if isinstance(dep, DenialConstraint):
-                        if find_extension(dep.body, state) is not None:
+                        if find_extension(
+                            dep.body, state, plan=plan
+                        ) is not None:
                             return finish(
                                 True, True, StopReason.DENIAL_VIOLATION
                             )
                         continue
                     if isinstance(dep, EGD):
-                        changed, egd_failed = _chase_egd(state, dep)
+                        changed, egd_failed = _chase_egd(state, dep, plan)
                         progressed = progressed or changed
                         if egd_failed:
                             return finish(
@@ -453,7 +512,7 @@ def chase(
                             )
                         continue
                     triggers = _enumerate_triggers(
-                        state, dep, cursors[index], strategy
+                        state, dep, cursors[index], strategy, plan
                     )
                     if TELEMETRY.enabled and triggers:
                         TELEMETRY.count(
@@ -474,7 +533,9 @@ def chase(
                         else:
                             # Restricted: re-check activity against the
                             # live indexed state (no snapshot copies).
-                            if satisfies_atoms(dep.head, state, trigger):
+                            if satisfies_atoms(
+                                dep.head, state, trigger, plan=plan
+                            ):
                                 continue
                         added, created = _fire_tgd(
                             state, dep, trigger, nulls

@@ -2,6 +2,15 @@
 
 from .cores import core, find_proper_retraction, homomorphically_equivalent
 from .isomorphism import all_isomorphisms, are_isomorphic, find_isomorphism
+from .plans import (
+    DEFAULT_PLAN,
+    PLAN_CACHE,
+    PLAN_MODES,
+    JoinPlan,
+    PlanCache,
+    compile_plan,
+    conjunction_signature,
+)
 from .search import (
     all_extensions_of,
     all_homomorphisms,
@@ -15,4 +24,6 @@ __all__ = [
     "all_isomorphisms", "are_isomorphic", "find_isomorphism",
     "all_extensions_of", "all_homomorphisms", "find_extension",
     "find_homomorphism", "satisfies_atoms",
+    "DEFAULT_PLAN", "PLAN_CACHE", "PLAN_MODES", "JoinPlan", "PlanCache",
+    "compile_plan", "conjunction_signature",
 ]

@@ -14,7 +14,9 @@ from .search import all_homomorphisms, find_homomorphism
 __all__ = ["find_proper_retraction", "core", "homomorphically_equivalent"]
 
 
-def find_proper_retraction(instance: Instance) -> dict | None:
+def find_proper_retraction(
+    instance: Instance,
+) -> dict[object, object] | None:
     """An endomorphism whose image has a strictly smaller active domain
     and which is the identity on its image, or ``None`` if the instance
     is a core."""

@@ -27,7 +27,9 @@ def _profiles_match(left: Instance, right: Instance) -> bool:
     )
 
 
-def all_isomorphisms(left: Instance, right: Instance) -> Iterator[dict]:
+def all_isomorphisms(
+    left: Instance, right: Instance
+) -> Iterator[dict[object, object]]:
     """All isomorphisms from ``left`` onto ``right``."""
     left._check_same_schema(right)
     if not _profiles_match(left, right):
@@ -40,7 +42,9 @@ def all_isomorphisms(left: Instance, right: Instance) -> Iterator[dict]:
             yield hom
 
 
-def find_isomorphism(left: Instance, right: Instance) -> dict | None:
+def find_isomorphism(
+    left: Instance, right: Instance
+) -> dict[object, object] | None:
     for iso in all_isomorphisms(left, right):
         return iso
     return None

@@ -13,9 +13,22 @@ Two flavours are provided:
   fix constants; use ``fixed`` to pin selected elements (e.g. "identity
   on adom(K)" in local embeddability).
 
-The search picks the most-constrained atom at each step (most bound
-positions, then fewest candidate tuples) and backtracks.  Target tuples
-are indexed per relation and filtered on bound positions.
+Two execution paths compute identical streams (same assignments, same
+order — the determinism contract tested by
+``tests/test_join_plans.py``):
+
+* ``plan="compiled"`` (default) — the conjunction is compiled once into
+  a memoized :class:`~repro.homomorphisms.plans.JoinPlan` (static atom
+  order, precompiled per-position check-lists, forward checking) and
+  executed against the target's pre-sorted positional index;
+* ``plan="interpreted"`` — the legacy reference path, which re-derives
+  the most-constrained atom at every recursion node and sorts candidate
+  buckets on every visit.  ``dynamic_order=False`` additionally forces
+  textual atom order (the ablation baseline in
+  ``benchmarks/bench_ablations.py``) and implies the interpreted path.
+
+Target tuples are indexed per relation and position and filtered on
+bound positions; ``hom.index_probes`` counts one per bucket consulted.
 """
 
 from __future__ import annotations
@@ -26,6 +39,8 @@ from ..instances.instance import Instance
 from ..lang.atoms import Atom
 from ..lang.terms import Const, Var, element_sort_key
 from ..telemetry import TELEMETRY
+from . import plans as _plans
+from .plans import PLAN_CACHE, PLAN_MODES, _signature_parts, execute_plan
 
 __all__ = [
     "find_extension",
@@ -36,11 +51,23 @@ __all__ = [
 ]
 
 
+def _resolve_plan(plan: str | None, dynamic_order: bool) -> str:
+    """The effective plan mode; textual order forces the interpreter."""
+    mode = _plans.DEFAULT_PLAN if plan is None else plan
+    if mode not in PLAN_MODES:
+        raise ValueError(
+            f"unknown plan mode {plan!r}; expected one of {PLAN_MODES}"
+        )
+    if not dynamic_order:
+        return "interpreted"
+    return mode
+
+
 def _candidates(
     atom: Atom,
     target: Instance,
     assignment: Mapping[Var, object],
-) -> list[tuple]:
+) -> list[tuple[object, ...]]:
     """Target tuples compatible with the atom under the assignment.
 
     Bound positions (constants and already-assigned variables) are used
@@ -49,10 +76,11 @@ def _candidates(
     smallest matching bucket is then filtered on the remaining
     constraints.  A fully bound atom degenerates to a single set
     membership test, and only fully unbound atoms fall back to the full
-    extent.
+    extent.  ``hom.index_probes`` counts every bucket consulted — one
+    per bound position, stopping early at the first empty bucket.
     """
     args = atom.args
-    bound_values: list = [None] * len(args)
+    bound_values: list[object] = [None] * len(args)
     unbound = 0
     for pos, arg in enumerate(args):
         if isinstance(arg, Const):
@@ -70,19 +98,25 @@ def _candidates(
         return [tup] if tup in target.tuples(atom.relation) else []
     pool = None
     if unbound < len(args):
+        consulted = 0
+        empty = False
         for pos, value in enumerate(bound_values):
             if value is None:
                 continue
             bucket = target.tuples_with(atom.relation, pos, value)
+            consulted += 1
+            if not bucket:
+                empty = True
+                break
             if pool is None or len(bucket) < len(pool):
                 pool = bucket
-                if not pool:
-                    return []
-        if TELEMETRY.enabled:
-            TELEMETRY.count("hom.index_probes")
+        if TELEMETRY.enabled and consulted:
+            TELEMETRY.count("hom.index_probes", consulted)
+        if empty:
+            return []
     if pool is None:
         pool = target.tuples(atom.relation)
-    matches = []
+    matches: list[tuple[object, ...]] = []
     for tup in pool:
         bound: dict[Var, object] = {}
         ok = True
@@ -112,12 +146,20 @@ def _boundness(atom: Atom, assignment: Mapping[Var, object]) -> int:
 
 
 def _search(
-    atoms: list[Atom],
+    atoms: Sequence[Atom],
     target: Instance,
     assignment: dict[Var, object],
     injective: bool,
-    dynamic_order: bool = True,
+    dynamic_order: bool,
+    image: set[object] | None,
 ) -> Iterator[dict[Var, object]]:
+    """The interpreted reference path.
+
+    ``image`` is the running image of the assignment when ``injective``
+    (``None`` otherwise): maintaining it alongside the assignment makes
+    the injectivity probe O(1) per binding instead of an
+    O(|assignment|) scan of ``assignment.values()``.
+    """
     if not atoms:
         if TELEMETRY.enabled:
             TELEMETRY.count("hom.matches")
@@ -126,7 +168,8 @@ def _search(
     if dynamic_order:
         # Most-constrained-first: maximize bound positions, break ties by
         # the smallest relation extent.  Ablated (vs textual order) in
-        # benchmarks/bench_ablations.py.
+        # benchmarks/bench_ablations.py; compiled once per conjunction by
+        # repro.homomorphisms.plans.
         index = max(
             range(len(atoms)),
             key=lambda i: (
@@ -149,23 +192,77 @@ def _search(
                     ok = False
                     break
             else:
-                if injective and elem in assignment.values():
-                    ok = False
-                    break
+                if injective:
+                    assert image is not None
+                    if elem in image:
+                        ok = False
+                        break
+                    image.add(elem)
                 assignment[arg] = elem
                 added.append(arg)
         if ok:
-            # The injectivity check above is per-position; re-validate the
-            # newly added bindings against each other.
-            if not injective or len(set(assignment.values())) == len(assignment):
-                yield from _search(
-                    rest, target, assignment, injective, dynamic_order
-                )
+            yield from _search(
+                rest, target, assignment, injective, dynamic_order, image
+            )
         if TELEMETRY.enabled:
             # One backtrack per candidate tuple explored and undone.
             TELEMETRY.count("hom.backtracks")
         for var in added:
+            if injective:
+                assert image is not None
+                image.discard(assignment[var])
             del assignment[var]
+
+
+def _iterate_compiled(
+    atoms: Sequence[Atom],
+    target: Instance,
+    assignment: dict[Var, object],
+    injective: bool,
+) -> Iterator[dict[Var, object]]:
+    """Compile (or fetch) the conjunction's plan and execute it."""
+    # Fully-bound fast path: the chase's restricted-activity checks ask
+    # "does this ground head hold?" once per trigger — a handful of set
+    # membership tests that must not pay for signatures or plan lookups.
+    ground: list[tuple[object, ...]] | None = []
+    for atom in atoms:
+        resolved: list[object] = []
+        for arg in atom.args:
+            if isinstance(arg, Const):
+                resolved.append(arg)
+            else:
+                value = assignment.get(arg)
+                if value is None:
+                    ground = None
+                    break
+                resolved.append(value)
+        if ground is None:
+            break
+        ground.append(tuple(resolved))
+    if ground is not None:
+        for atom, tup in zip(atoms, ground):
+            if tup not in target.tuples(atom.relation):
+                return
+            if TELEMETRY.enabled:
+                TELEMETRY.count("hom.backtracks")
+        if TELEMETRY.enabled:
+            TELEMETRY.count("hom.matches")
+        yield dict(assignment)
+        return
+
+    sizes = [len(target.tuples(atom.relation)) for atom in atoms]
+    if 0 in sizes:
+        # Some atom ranges over an empty relation: no extension exists.
+        # (The interpreted path discovers this when it reaches the atom;
+        # pruning up front keeps the stream identical — empty.)
+        if TELEMETRY.enabled:
+            TELEMETRY.count("hom.forward_prunes")
+        return
+    key, slot_vars, slot_index = _signature_parts(atoms, assignment, sizes)
+    plan = PLAN_CACHE.get(key)
+    yield from execute_plan(
+        plan, slot_vars, target, assignment, injective, slot_index
+    )
 
 
 def all_extensions_of(
@@ -175,16 +272,44 @@ def all_extensions_of(
     *,
     injective: bool = False,
     dynamic_order: bool = True,
+    plan: str | None = None,
 ) -> Iterator[dict[Var, object]]:
     """All extensions of ``partial`` mapping every atom to a fact of
     ``target``.  Yields complete assignments (including ``partial``).
 
-    ``dynamic_order=False`` matches atoms in textual order (the ablation
-    baseline); the default picks the most-constrained atom each step."""
+    ``plan`` selects the execution path (``None`` →
+    :data:`repro.homomorphisms.plans.DEFAULT_PLAN`); both paths yield
+    byte-identical streams.  ``dynamic_order=False`` matches atoms in
+    textual order (the ablation baseline) on the interpreted path."""
+    mode = _resolve_plan(plan, dynamic_order)
     assignment = dict(partial or {})
-    yield from _search(
-        list(atoms), target, assignment, injective, dynamic_order
-    )
+    # Keep tuple inputs (frozen rule bodies) intact: the plan layer's
+    # identity memo recognizes the same conjunction object across calls.
+    atom_seq = atoms if type(atoms) is tuple else tuple(atoms)
+    return _dispatch(atom_seq, target, assignment, injective, dynamic_order, mode)
+
+
+def _dispatch(
+    atoms: Sequence[Atom],
+    target: Instance,
+    assignment: dict[Var, object],
+    injective: bool,
+    dynamic_order: bool,
+    mode: str,
+) -> Iterator[dict[Var, object]]:
+    image: set[object] | None = None
+    if injective:
+        image = set(assignment.values())
+        if atoms and len(image) != len(assignment):
+            # A non-injective seed can never extend to an injective
+            # assignment over a non-empty conjunction.
+            return
+    if mode == "compiled":
+        yield from _iterate_compiled(atoms, target, assignment, injective)
+    else:
+        yield from _search(
+            atoms, target, assignment, injective, dynamic_order, image
+        )
 
 
 def find_extension(
@@ -193,10 +318,13 @@ def find_extension(
     partial: Mapping[Var, object] | None = None,
     *,
     injective: bool = False,
+    dynamic_order: bool = True,
+    plan: str | None = None,
 ) -> dict[Var, object] | None:
     """The first extension found, or ``None``."""
     for assignment in all_extensions_of(
-        atoms, target, partial, injective=injective
+        atoms, target, partial, injective=injective,
+        dynamic_order=dynamic_order, plan=plan,
     ):
         return assignment
     return None
@@ -206,9 +334,17 @@ def satisfies_atoms(
     atoms: Sequence[Atom],
     target: Instance,
     partial: Mapping[Var, object] | None = None,
+    *,
+    dynamic_order: bool = True,
+    plan: str | None = None,
 ) -> bool:
     """Does some extension of ``partial`` map all atoms into ``target``?"""
-    return find_extension(atoms, target, partial) is not None
+    return (
+        find_extension(
+            atoms, target, partial, dynamic_order=dynamic_order, plan=plan
+        )
+        is not None
+    )
 
 
 def _source_as_atoms(source: Instance) -> tuple[list[Atom], dict[object, Var]]:
@@ -230,6 +366,7 @@ def all_homomorphisms(
     fixed: Mapping[object, object] | None = None,
     *,
     injective: bool = False,
+    plan: str | None = None,
 ) -> Iterator[dict[object, object]]:
     """All homomorphisms ``h : dom(source) → dom(target)``.
 
@@ -247,12 +384,12 @@ def all_homomorphisms(
         min(target.domain, key=element_sort_key) if target.domain else None
     )
     atoms, as_var = _source_as_atoms(source)
-    partial = {}
+    partial: dict[Var, object] = {}
     for elem, value in fixed.items():
         if elem in as_var:
             partial[as_var[elem]] = value
     for assignment in all_extensions_of(
-        atoms, target, partial, injective=injective
+        atoms, target, partial, injective=injective, plan=plan
     ):
         hom: dict[object, object] = {
             elem: assignment[var] for elem, var in as_var.items()
@@ -281,8 +418,11 @@ def find_homomorphism(
     fixed: Mapping[object, object] | None = None,
     *,
     injective: bool = False,
+    plan: str | None = None,
 ) -> dict[object, object] | None:
     """The first homomorphism found, or ``None``."""
-    for hom in all_homomorphisms(source, target, fixed, injective=injective):
+    for hom in all_homomorphisms(
+        source, target, fixed, injective=injective, plan=plan
+    ):
         return hom
     return None

@@ -36,7 +36,7 @@ class Instance:
     """An immutable relational instance over a fixed schema."""
 
     __slots__ = ("_schema", "_domain", "_relations", "_facts_cache", "_hash",
-                 "_index")
+                 "_index", "_sorted_extents")
 
     def __init__(
         self,
@@ -69,6 +69,7 @@ class Instance:
         self._facts_cache: frozenset[Fact] | None = None
         self._hash: int | None = None
         self._index: dict[Relation, dict[tuple[int, object], tuple]] | None = None
+        self._sorted_extents: dict[Relation, tuple] | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -95,6 +96,7 @@ class Instance:
         instance._facts_cache = None
         instance._hash = None
         instance._index = None
+        instance._sorted_extents = None
         return instance
 
     @classmethod
@@ -167,7 +169,11 @@ class Instance:
         Backed by a lazily built per-relation, per-position hash index,
         so a probe is a dict lookup rather than a scan of the whole
         extent.  The index is built once per relation on first use and
-        shared for the lifetime of the (immutable) instance.
+        shared for the lifetime of the (immutable) instance.  Buckets
+        are stored pre-sorted by
+        :func:`repro.lang.terms.element_sort_key`, so the compiled join
+        plans (:mod:`repro.homomorphisms.plans`) enumerate candidates
+        in the canonical deterministic order without sorting per node.
         """
         if isinstance(relation, str):
             relation = self._schema.relation(relation)
@@ -183,9 +189,31 @@ class Instance:
             for tup in tuples:
                 for pos, elem in enumerate(tup):
                     buckets.setdefault((pos, elem), []).append(tup)
-            by_pos = {key: tuple(val) for key, val in buckets.items()}
+            by_pos = {
+                key: tuple(sorted(val, key=element_sort_key))
+                for key, val in buckets.items()
+            }
             self._index[relation] = by_pos
         return by_pos.get((position, element), ())
+
+    # The index buckets are already sorted; expose them under the name
+    # the compiled-plan executor probes for.
+    sorted_tuples_with = tuples_with
+
+    def sorted_tuples(self, relation: Relation | str) -> tuple:
+        """The relation's extent as a tuple sorted by
+        :func:`repro.lang.terms.element_sort_key` (cached)."""
+        if isinstance(relation, str):
+            relation = self._schema.relation(relation)
+        if self._sorted_extents is None:
+            self._sorted_extents = {}
+        cached = self._sorted_extents.get(relation)
+        if cached is None:
+            cached = tuple(
+                sorted(self.tuples(relation), key=element_sort_key)
+            )
+            self._sorted_extents[relation] = cached
+        return cached
 
     def facts(self) -> frozenset[Fact]:
         """``facts(I)`` as a frozen set of :class:`Fact`."""

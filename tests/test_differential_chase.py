@@ -100,27 +100,36 @@ def _random_scenario(
 
 
 def assert_strategies_agree(instance, deps, *, variant="restricted"):
-    """The core differential assertion."""
-    naive = chase(
-        instance, deps, variant=variant, strategy="naive",
-        max_rounds=MAX_ROUNDS, max_facts=MAX_FACTS,
-    )
-    semi = chase(
-        instance, deps, variant=variant, strategy="seminaive",
-        max_rounds=MAX_ROUNDS, max_facts=MAX_FACTS,
-    )
-    assert semi.stop_reason == naive.stop_reason
-    assert semi.terminated == naive.terminated
-    assert semi.failed == naive.failed
-    assert semi.rounds == naive.rounds
-    assert semi.fired == naive.fired
-    assert semi.nulls_created == naive.nulls_created
-    # Canonical firing order makes the engines bit-for-bit equal...
-    assert semi.instance == naive.instance
-    # ...which the paper-level equivalence (isomorphism) must confirm.
-    if naive.instance.fact_count() <= ISO_FACT_CAP:
-        assert are_isomorphic(semi.instance, naive.instance)
-    return naive
+    """The core differential assertion, now a 2×2 grid: both evaluation
+    strategies crossed with both homomorphism-search backends
+    (interpreted reference vs compiled join plans).  All four runs must
+    be bit-for-bit equal — same facts, same null numbering, same
+    statistics."""
+    reference = None
+    for strategy in ("naive", "seminaive"):
+        for plan in ("interpreted", "compiled"):
+            result = chase(
+                instance, deps, variant=variant, strategy=strategy,
+                plan=plan, max_rounds=MAX_ROUNDS, max_facts=MAX_FACTS,
+            )
+            if reference is None:
+                reference = result
+                continue
+            label = f"{strategy}/{plan}"
+            assert result.stop_reason == reference.stop_reason, label
+            assert result.terminated == reference.terminated, label
+            assert result.failed == reference.failed, label
+            assert result.rounds == reference.rounds, label
+            assert result.fired == reference.fired, label
+            assert result.nulls_created == reference.nulls_created, label
+            # Canonical firing order makes the engines bit-for-bit
+            # equal...
+            assert result.instance == reference.instance, label
+    # ...which the paper-level equivalence (isomorphism) must confirm
+    # (``result`` is the last grid cell: seminaive over compiled plans).
+    if reference.instance.fact_count() <= ISO_FACT_CAP:
+        assert are_isomorphic(result.instance, reference.instance)
+    return reference
 
 
 class TestRandomizedSweep:
@@ -242,12 +251,12 @@ class TestCounterParity:
          "E(a, b). E(b, a)"),
     )
 
-    def _counters(self, instance, deps, strategy):
+    def _counters(self, instance, deps, strategy, plan="compiled"):
         TELEMETRY.reset()
         TELEMETRY.enable(spans=False)
         try:
             chase(
-                instance, deps, strategy=strategy,
+                instance, deps, strategy=strategy, plan=plan,
                 max_rounds=8, max_facts=MAX_FACTS,
             )
             return TELEMETRY.snapshot()
@@ -271,6 +280,53 @@ class TestCounterParity:
             semi.get("chase.triggers_fired", 0)
             == naive.get("chase.triggers_fired", 0)
         )
+
+    @pytest.mark.parametrize("case", range(len(FIXED)))
+    def test_plans_preserve_chase_counters(self, case):
+        """Compiled plans change *search* counters (fewer probes, some
+        forward prunes) but must not change what the chase itself does:
+        triggers enumerated, triggers fired, facts added, nulls."""
+        rules_text, facts_text = self.FIXED[case]
+        schema = Schema.of(("E", 2), ("R", 2))
+        deps = parse_tgds(rules_text, schema)
+        instance = Instance.parse(facts_text, schema)
+        for strategy in ("naive", "seminaive"):
+            interp = self._counters(instance, deps, strategy, "interpreted")
+            comp = self._counters(instance, deps, strategy, "compiled")
+            for counter in (
+                "chase.triggers_enumerated",
+                "chase.triggers_fired",
+                "chase.facts_added",
+                "chase.nulls_created",
+                "chase.rounds",
+                "hom.matches",
+            ):
+                assert interp.get(counter, 0) == comp.get(counter, 0), (
+                    f"{strategy}: {counter}"
+                )
+
+    def test_chase_reuses_plans_across_rounds(self):
+        """A transitive-closure chase matches the same two rule bodies
+        every round: after the first compilations, every further lookup
+        must be a cache hit (plan_hits ≫ plan_compiles)."""
+        from repro.homomorphisms.plans import PLAN_CACHE
+
+        schema = Schema.of(("E", 2),)
+        rel = schema.relation("E")
+        chain = Instance.from_facts(
+            schema,
+            [
+                Fact(rel, (Const(f"v{i}"), Const(f"v{i + 1}")))
+                for i in range(12)
+            ],
+        )
+        deps = parse_tgds("E(x, y), E(y, z) -> E(x, z)", schema)
+        PLAN_CACHE.clear()
+        counters = self._counters(chain, deps, "seminaive", "compiled")
+        hits = counters.get("hom.plan_hits", 0)
+        compiles = counters.get("hom.plan_compiles", 0)
+        assert compiles <= 8
+        assert hits > 20 * compiles
 
 
 class TestRestrictedHotLoopRegression:
@@ -321,3 +377,12 @@ class TestStrategyApi:
         from repro.chase import STRATEGIES
 
         assert STRATEGIES == ("seminaive", "naive")
+
+    def test_unknown_plan_rejected(self):
+        schema = Schema.of(("P", 1),)
+        with pytest.raises(ChaseError, match="join plan"):
+            chase(
+                Instance.parse("P(a)", schema),
+                parse_tgds("P(x) -> P(x)", schema),
+                plan="vectorized",
+            )

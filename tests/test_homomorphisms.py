@@ -15,6 +15,15 @@ from repro.lang import Const, Var, parse_atoms
 SCHEMA = Schema.of(("E", 2), ("V", 1))
 
 
+@pytest.fixture(autouse=True, params=["compiled", "interpreted"])
+def plan_mode(request, monkeypatch):
+    """Run every test in this module under both search backends."""
+    from repro.homomorphisms import plans
+
+    monkeypatch.setattr(plans, "DEFAULT_PLAN", request.param)
+    return request.param
+
+
 def inst(text: str) -> Instance:
     return Instance.parse(text, SCHEMA)
 

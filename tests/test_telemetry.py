@@ -16,7 +16,8 @@ import time
 import pytest
 
 from repro import Instance, Schema, StopReason, chase, parse_tgds
-from repro.lang import parse_egd
+from repro.homomorphisms import all_extensions_of, satisfies_atoms
+from repro.lang import parse_atoms, parse_egd
 from repro.rewriting import guarded_to_linear
 from repro.telemetry import (
     TELEMETRY,
@@ -286,6 +287,74 @@ class TestEngineIntegration:
         TELEMETRY.disable()
         assert result.successful
         assert counters["chase.egd_merges"] >= 1
+
+
+class TestHomIndexProbes:
+    """``hom.index_probes`` counts buckets actually consulted — one per
+    bound position probed, stopping at the first empty bucket — rather
+    than once per atom."""
+
+    SCHEMA = Schema.of(("E", 2))
+
+    def _run(self, plan, atoms_text, partial=None):
+        db = Instance.parse("E(a, b). E(a, c). E(b, c)", self.SCHEMA)
+        atoms = parse_atoms(atoms_text, self.SCHEMA)
+        TELEMETRY.enable(spans=False)
+        matches = list(all_extensions_of(atoms, db, partial, plan=plan))
+        counters = TELEMETRY.snapshot()
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+        return matches, counters
+
+    def test_interpreted_counts_per_bucket(self):
+        # E(x, y) is unbound (0 probes); E(y, z) probes position 0 once
+        # per candidate of the first atom: y=b (non-empty), y=c (empty,
+        # counted, then early exit), y=c again — 3 probes total.
+        matches, counters = self._run("interpreted", "E(x, y), E(y, z)")
+        assert len(matches) == 1
+        assert counters["hom.index_probes"] == 3
+        assert "hom.forward_prunes" not in counters
+
+    def test_compiled_prunes_replace_probes(self):
+        # The compiled plan forward-checks y against E's position-0
+        # index right after binding it: the two dead candidates are
+        # pruned (2 forward_prunes) and only the surviving branch
+        # probes its bucket at the next step (1 probe).
+        matches, counters = self._run("compiled", "E(x, y), E(y, z)")
+        assert len(matches) == 1
+        assert counters["hom.index_probes"] == 1
+        assert counters["hom.forward_prunes"] == 2
+
+    def test_paths_agree_on_matches_and_backtracks(self):
+        interp, ci = self._run("interpreted", "E(x, y), E(y, z)")
+        comp, cc = self._run("compiled", "E(x, y), E(y, z)")
+        assert interp == comp
+        assert ci["hom.matches"] == cc["hom.matches"] == 1
+        assert ci["hom.backtracks"] == cc["hom.backtracks"]
+
+    def test_fully_bound_atom_is_a_membership_test(self):
+        from repro.lang import Const, Var
+
+        partial = {Var("x"): Const("a"), Var("y"): Const("b")}
+        for plan in ("interpreted", "compiled"):
+            matches, counters = self._run(plan, "E(x, y)", partial)
+            assert len(matches) == 1
+            assert "hom.index_probes" not in counters
+
+    def test_compiled_run_touches_the_plan_cache(self):
+        __, counters = self._run("compiled", "E(x, y), E(y, z)")
+        assert (
+            counters.get("hom.plan_hits", 0)
+            + counters.get("hom.plan_compiles", 0)
+        ) == 1
+
+    def test_satisfies_atoms_forwards_plan(self):
+        db = Instance.parse("E(a, b)", self.SCHEMA)
+        atoms = parse_atoms("E(x, y)", self.SCHEMA)
+        with pytest.raises(ValueError, match="unknown plan mode"):
+            satisfies_atoms(atoms, db, plan="vectorized")
+        assert satisfies_atoms(atoms, db, plan="interpreted")
+        assert satisfies_atoms(atoms, db, plan="compiled")
 
 
 class TestStopReason:
