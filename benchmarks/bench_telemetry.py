@@ -37,6 +37,16 @@ def noop_spans() -> int:
     return opened
 
 
+def guarded_observes() -> int:
+    """The histogram hot-path pattern (e.g. per-round trigger counts)."""
+    recorded = 0
+    for _ in range(N_EVENTS):
+        if TELEMETRY.enabled:
+            TELEMETRY.observe("bench.fanout", 17.0)
+        recorded += 1
+    return recorded
+
+
 def test_disabled_count_guard(benchmark):
     """The guard alone: one attribute lookup per event when disabled."""
     was_enabled = TELEMETRY.enabled
@@ -57,6 +67,55 @@ def test_disabled_span_is_noop(benchmark):
     finally:
         if was_enabled:
             TELEMETRY.enable(spans=False)
+
+
+def test_disabled_observe_guard(benchmark):
+    """The histogram API obeys the same disabled-path contract as
+    counters: one attribute lookup per skipped observation."""
+    was_enabled = TELEMETRY.enabled
+    TELEMETRY.disable()
+    try:
+        assert benchmark(guarded_observes) == N_EVENTS
+        assert TELEMETRY.histogram_snapshot() == {}
+    finally:
+        if was_enabled:
+            TELEMETRY.enable(spans=False)
+    record(
+        "telemetry disabled observe", "≈0 cost", f"{N_EVENTS} events"
+    )
+
+
+def test_enabled_observe(benchmark):
+    """The locked bucket increment, for comparison against the guard."""
+    TELEMETRY.reset()
+    TELEMETRY.enable(spans=False)
+    try:
+        assert benchmark(guarded_observes) == N_EVENTS
+    finally:
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+
+
+def test_run_report_construction(benchmark):
+    """Building the RunReport artifact from a realistic snapshot —
+    pure post-processing, so it only needs to stay off the hot path
+    (milliseconds, not microseconds, is the bar)."""
+    from repro.telemetry import build_run_report
+
+    TELEMETRY.reset()
+    TELEMETRY.enable(spans=False)
+    try:
+        for index in range(50):
+            TELEMETRY.count(f"bench.counter_{index % 10}", index)
+            TELEMETRY.observe(f"bench.hist_{index % 5}", float(index))
+        report = benchmark(
+            build_run_report, "bench", {"jobs": 1, "target": "linear"}
+        )
+    finally:
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+    assert report.counters and report.histograms
+    assert report.to_json()
 
 
 def test_enabled_count(benchmark):

@@ -67,7 +67,12 @@ def bench_counters(request):
         yield
     finally:
         counters = TELEMETRY.snapshot()
+        histograms = TELEMETRY.histogram_snapshot()
         TELEMETRY.disable()
         TELEMETRY.reset()
         if counters:
             benchmark.extra_info["counters"] = counters
+        if histograms:
+            benchmark.extra_info["histograms"] = {
+                name: hist.to_dict() for name, hist in histograms.items()
+            }

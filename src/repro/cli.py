@@ -14,6 +14,9 @@ Commands:
   explanations, termination certificates, hygiene, stratification
   (``--format text|json|sarif`` for CI consumption)
 * ``separations``               — re-derive the Section 9.1 separations
+* ``bench``                     — run benchmark families; write/compare
+  ``BENCH_*.json`` performance-trajectory files (``--compare`` gates
+  wall-time and plan-quality regressions)
 * ``stats TRACE.jsonl``         — summarize a telemetry trace file
 
 ``RULES`` is a file with one dependency per line (``#`` comments);
@@ -21,10 +24,19 @@ Commands:
 
 Observability flags (available on every command):
 
-* ``--profile``        — record spans + counters, print a report after
-  the command output (to stderr under ``--quiet``)
-* ``--trace FILE.jsonl`` — stream span events and a final counter record
-  to FILE.jsonl (summarize with ``python -m repro stats FILE.jsonl``)
+* ``--profile``        — record spans + counters + histograms, print a
+  report after the command output (to stderr under ``--quiet`` or when
+  the command raised)
+* ``--trace FILE.jsonl`` — stream span events plus final counter and
+  histogram records to FILE.jsonl (summarize with
+  ``python -m repro stats FILE.jsonl``); flushed even when the engine
+  raises mid-run
+* ``--trace-chrome FILE.json`` — export the span tree in Chrome
+  trace-event format (load in ``chrome://tracing`` or
+  ``ui.perfetto.dev``)
+* ``--report FILE.json`` — write a schema-versioned ``RunReport``
+  artifact: effective configuration, counters, histograms with
+  p50/p90/p99 summaries, and a span-tree digest
 * ``--quiet``          — suppress normal stdout for script use; the
   exit code carries the answer
 * ``--version``        — print the package version and exit
@@ -92,8 +104,10 @@ from .rewriting import (
 from .search import SearchBudget
 from .telemetry import (
     TELEMETRY,
+    ChromeTraceSink,
     JSONLSink,
     MemorySink,
+    build_run_report,
     render_report,
     summarize_jsonl,
 )
@@ -288,6 +302,73 @@ def _cmd_lint(args) -> int:
     return report.exit_code
 
 
+def _cmd_bench(args) -> int:
+    from .perf import (
+        BenchResult,
+        apply_injection,
+        bench_filename,
+        compare_results,
+        parse_injection,
+        render_regressions,
+        resolve_families,
+        run_family,
+    )
+
+    try:
+        families = resolve_families(args.families, smoke_only=args.smoke)
+        factors = parse_injection(args.inject)
+    except ValueError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 1
+    out_dir = Path(args.out)
+    if args.json:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    results = []
+    for family in families:
+        result = apply_injection(
+            run_family(family, repeats=args.repeat), factors
+        )
+        results.append(result)
+        line = (
+            f"{result.family:<22} best {result.best_seconds * 1e3:8.2f}ms "
+            f"mean {result.mean_seconds * 1e3:8.2f}ms "
+            f"({len(result.wall_seconds)} repeats)"
+        )
+        print(line)
+        if args.json:
+            path = result.write(out_dir)
+            print(f"  wrote {path}")
+    if args.compare is None:
+        return 0
+    regressions = []
+    skipped = []
+    for result in results:
+        baseline_path = Path(args.compare) / bench_filename(result.family)
+        if not baseline_path.exists():
+            skipped.append(result.family)
+            continue
+        try:
+            baseline = BenchResult.load(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"bench: {baseline_path}: {exc}", file=sys.stderr)
+            return 1
+        regressions.extend(
+            compare_results(
+                baseline,
+                result,
+                wall_threshold=args.threshold,
+                counter_threshold=args.threshold,
+            )
+        )
+    if skipped:
+        print(
+            "bench: no baseline for: " + ", ".join(skipped),
+            file=sys.stderr,
+        )
+    print(render_regressions(regressions))
+    return 1 if regressions else 0
+
+
 def _cmd_stats(args) -> int:
     try:
         print(summarize_jsonl(args.tracefile))
@@ -311,8 +392,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write telemetry span/counter events to FILE.jsonl",
     )
     common.add_argument(
+        "--trace-chrome", metavar="FILE.json", default=None,
+        help="write the span tree as Chrome trace events "
+             "(load in chrome://tracing or ui.perfetto.dev)",
+    )
+    common.add_argument(
         "--profile", action="store_true",
-        help="print a span/counter report after the command",
+        help="print a span/counter/histogram report after the command",
+    )
+    common.add_argument(
+        "--report", metavar="FILE.json", default=None,
+        help="write a schema-versioned RunReport JSON artifact "
+             "(config, counters, histograms, span digest)",
     )
     common.add_argument(
         "--quiet", action="store_true",
@@ -431,6 +522,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_separations)
 
     p = sub.add_parser(
+        "bench", parents=[common],
+        help="run benchmark families; write/compare BENCH_*.json "
+             "trajectory files",
+    )
+    p.add_argument(
+        "--families", metavar="A,B|all", default=None,
+        help="comma-separated family names (default: all, or the smoke "
+             "subset with --smoke)",
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="restrict the default selection to the CI smoke subset",
+    )
+    p.add_argument(
+        "--repeat", type=int, default=3, metavar="N",
+        help="cold repeats per family (min is the comparison statistic)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="write a BENCH_<family>.json trajectory file per family",
+    )
+    p.add_argument(
+        "--out", metavar="DIR", default=".",
+        help="directory for --json artifacts (default: .)",
+    )
+    p.add_argument(
+        "--compare", metavar="DIR", default=None,
+        help="compare against baseline BENCH_*.json files in DIR; "
+             "exit 1 on any wall-time or plan-quality regression",
+    )
+    p.add_argument(
+        "--threshold", type=float, default=0.20, metavar="FRAC",
+        help="regression threshold as a fraction (default 0.20 = +20%%)",
+    )
+    p.add_argument(
+        "--inject", metavar="wall=F,probes=F", default=None,
+        help="scale the current measurement synthetically (CI gate "
+             "self-test; never applied to written baselines without "
+             "your knowledge — injection happens before --json too)",
+    )
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
         "stats", parents=[common],
         help="summarize a --trace FILE.jsonl telemetry file",
     )
@@ -440,13 +574,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_config(args) -> dict:
+    """The command's effective configuration for the RunReport artifact:
+    every plain-valued option except the observability plumbing."""
+    skip = {
+        "func", "command", "profile", "trace", "trace_chrome", "report",
+        "quiet",
+    }
+    config: dict = {"command": args.command}
+    for key, value in sorted(vars(args).items()):
+        if key in skip:
+            continue
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            config[key] = value
+    return config
+
+
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     quiet = getattr(args, "quiet", False)
     memory: MemorySink | None = None
     sinks = []
-    if getattr(args, "profile", False):
+    report_path = getattr(args, "report", None)
+    if getattr(args, "profile", False) or report_path:
         memory = MemorySink()
         sinks.append(memory)
     if getattr(args, "trace", None):
@@ -455,9 +606,16 @@ def main(argv=None) -> int:
         except OSError as exc:
             print(f"--trace: {exc}", file=sys.stderr)
             return 1
+    if getattr(args, "trace_chrome", None):
+        try:
+            sinks.append(ChromeTraceSink(args.trace_chrome))
+        except OSError as exc:
+            print(f"--trace-chrome: {exc}", file=sys.stderr)
+            return 1
     if sinks:
         TELEMETRY.reset()
         TELEMETRY.enable(*sinks)
+    code: int | None = None
     try:
         if quiet:
             with contextlib.redirect_stdout(io.StringIO()):
@@ -465,13 +623,33 @@ def main(argv=None) -> int:
         else:
             code = args.func(args)
     finally:
+        # Runs on engine crashes too: disable() flushes the final
+        # counter/histogram snapshots to every sink and close()s them
+        # (JSONL flush, Chrome trace write), so a partial trace of a
+        # failed run is still readable; the profile report and the
+        # RunReport artifact are likewise emitted below.
         if sinks:
             TELEMETRY.disable()
-    if memory is not None:
-        print(
-            render_report(memory),
-            file=sys.stderr if quiet else sys.stdout,
-        )
+        crashed = code is None
+        if memory is not None and getattr(args, "profile", False):
+            print(
+                render_report(memory),
+                file=sys.stderr if (quiet or crashed) else sys.stdout,
+            )
+        if report_path and memory is not None:
+            run_report = build_run_report(
+                args.command,
+                _run_config(args),
+                sink=memory,
+                counters=memory.counters,
+                histograms=memory.histograms,
+            )
+            try:
+                run_report.write(report_path)
+            except OSError as exc:
+                print(f"--report: {exc}", file=sys.stderr)
+                if code is not None:
+                    code = 1
     return code
 
 

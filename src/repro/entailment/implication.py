@@ -12,6 +12,7 @@ frozen variable ended up after merging.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Sequence, Union
 
 from ..analysis.certificates import default_budget
@@ -138,6 +139,7 @@ def entails(
     computation (the differential and property tests do).
     """
     deps = list(dependencies)
+    started = perf_counter() if TELEMETRY.enabled else None
     with span("entails", conclusion=type(conclusion).__name__) as sp:
         key = (
             entailment_cache_key(deps, conclusion, max_rounds)
@@ -150,6 +152,10 @@ def entails(
                 if TELEMETRY.enabled:
                     TELEMETRY.count("entailment.calls")
                     TELEMETRY.count(f"entailment.{verdict}")
+                    if started is not None:
+                        TELEMETRY.observe(
+                            "time.entails", perf_counter() - started
+                        )
                 sp.set(verdict=str(verdict), cached=True)
                 return verdict  # type: ignore[return-value]
         body, body_vars = _conclusion_parts(conclusion)
@@ -177,6 +183,11 @@ def entails(
         if TELEMETRY.enabled:
             TELEMETRY.count("entailment.calls")
             TELEMETRY.count(f"entailment.{verdict}")
+            if started is not None:
+                # Latency of the full decision (chase included); cache
+                # hits land in the sub-microsecond buckets, cold chases
+                # in the millisecond ones — the split is the point.
+                TELEMETRY.observe("time.entails", perf_counter() - started)
         sp.set(verdict=str(verdict))
         return verdict
 

@@ -550,6 +550,10 @@ def execute_plan(
                 candidates = sorted_bucket(relation, *best_probe)
         else:
             candidates = sorted_extent(relation)
+        if telemetry.enabled and step.binds:
+            # Same fan-out distribution the interpreted path records:
+            # size of the candidate pool the step actually iterates.
+            telemetry.observe("hom.probe_fanout", len(candidates))
         checks = step.checks
         binds = step.binds
         forward = step.forward

@@ -116,6 +116,11 @@ def _candidates(
             return []
     if pool is None:
         pool = target.tuples(atom.relation)
+    if TELEMETRY.enabled:
+        # Fan-out of the chosen pool: how selective the positional index
+        # actually was for this atom (the distribution the join-plan
+        # optimizer is trying to push toward small buckets).
+        TELEMETRY.observe("hom.probe_fanout", len(pool))
     matches: list[tuple[object, ...]] = []
     for tup in pool:
         bound: dict[Var, object] = {}

@@ -1,0 +1,202 @@
+"""The benchmark family registry.
+
+A family is a named, deterministic workload exercising one engine path
+end to end.  Requirements for membership:
+
+* **deterministic operation counts** — with caches cleared (the harness
+  does this before every repeat), the counter/histogram snapshot of a
+  run is a pure function of the codebase, so two commits can be
+  compared exactly;
+* **CI-sized** — every family finishes in well under a second on a
+  laptop; trend detection wants many cheap samples, not one slow one;
+* **pinned inputs** — the scenarios are written out literally here and
+  never derived from anything environmental.
+
+The pinned rewrite scenarios are the paper's own: Example 9 / Example 10
+(guarded → linear over a unary chain schema) and the Example 5.2
+composition rule (full-tgd rewriting), the same inputs
+``tests/test_rewrite_regression.py`` locks semantically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..analysis.certificates import clear_certificate_cache
+from ..chase.engine import chase
+from ..dependencies.classes import TGDClass
+from ..entailment.cache import ENTAILMENT_CACHE
+from ..entailment.implication import entails
+from ..homomorphisms.plans import PLAN_CACHE
+from ..instances.instance import Instance
+from ..lang.parser import parse_facts, parse_tgds
+from ..lang.schema import Schema
+from ..rewriting.rewrite import (
+    frontier_guarded_to_guarded,
+    guarded_to_linear,
+    rewrite,
+)
+
+__all__ = ["BenchFamily", "FAMILIES", "clear_engine_caches",
+           "resolve_families"]
+
+
+def clear_engine_caches() -> None:
+    """Cold-start every process-level memo the engines consult, so each
+    benchmark repeat measures the same work."""
+    ENTAILMENT_CACHE.clear()
+    PLAN_CACHE.clear()
+    clear_certificate_cache()
+
+
+@dataclass(frozen=True)
+class BenchFamily:
+    """One registered workload: ``runner`` runs it once, end to end."""
+
+    name: str
+    description: str
+    runner: Callable[[], None]
+    smoke: bool = True  # part of the CI smoke subset
+
+
+# ----------------------------------------------------------------------
+# Pinned scenarios
+# ----------------------------------------------------------------------
+
+_UNARY3 = Schema.of(("R", 1), ("P", 1), ("T", 1))
+_BINARY3 = Schema.of(("R", 2), ("S", 2), ("T", 2))
+
+_E9_RULES = "R(x) -> P(x)\nR(x), P(x) -> T(x)"
+_E10_RULES = "R(x) -> P(x)\nR(x), P(y) -> T(x)"
+_COMPOSITION_RULE = "R(x, y), S(y, z) -> T(x, z)"
+
+_CHASE_FULL_RULES = (
+    "R(x, y) -> S(y, x)\n"
+    "S(x, y), R(y, z) -> T(x, z)\n"
+    "T(x, y), S(y, z) -> R(x, z)"
+)
+_CHASE_FULL_DATA = (
+    "R(a, b). R(b, c). R(c, d). R(d, e). R(e, f). R(f, a)."
+)
+
+_CHASE_EXISTENTIAL_RULES = (
+    "R(x, y) -> S(y, z)\n"          # z existential: invents nulls
+    "S(x, y) -> T(x, x)\n"
+    "T(x, y), R(x, w) -> S(w, x)"
+)
+_CHASE_EXISTENTIAL_DATA = "R(a, b). R(b, c). R(c, a)."
+
+
+def _instance(schema: Schema, text: str) -> Instance:
+    facts = parse_facts(text)
+    return Instance.from_facts(schema, facts)
+
+
+def _run_chase_full() -> None:
+    deps = parse_tgds(_CHASE_FULL_RULES, _BINARY3)
+    db = _instance(_BINARY3, _CHASE_FULL_DATA)
+    result = chase(db, deps)
+    assert result.successful, "chase-full family must reach a fixpoint"
+
+
+def _run_chase_existential() -> None:
+    deps = parse_tgds(_CHASE_EXISTENTIAL_RULES, _BINARY3)
+    db = _instance(_BINARY3, _CHASE_EXISTENTIAL_DATA)
+    result = chase(db, deps, max_rounds=32)
+    assert result.rounds > 0
+
+
+def _run_rewrite_linear() -> None:
+    sigma = list(parse_tgds(_E9_RULES, _UNARY3))
+    result = guarded_to_linear(sigma, schema=_UNARY3)
+    assert result.status in ("success", "failure")
+
+
+def _run_rewrite_guarded() -> None:
+    # Example 10 (positive) plus the Section 9.1 separation witness
+    # (a definitive failure): one success path, one ⊥ path.
+    for rules in (_E10_RULES, "R(x), P(y) -> T(x)"):
+        sigma = list(parse_tgds(rules, _UNARY3))
+        result = frontier_guarded_to_guarded(sigma, schema=_UNARY3)
+        assert result.status in ("success", "failure")
+
+
+def _run_rewrite_full() -> None:
+    sigma = list(parse_tgds(_COMPOSITION_RULE, _BINARY3))
+    result = rewrite(
+        sigma, TGDClass.FULL, schema=_BINARY3, max_body_atoms=2
+    )
+    assert result.status in ("success", "failure")
+
+
+def _run_entails_cold() -> None:
+    sigma = list(parse_tgds(_E9_RULES, _UNARY3))
+    conclusions = parse_tgds(
+        "R(x) -> T(x)\nP(x) -> T(x)\nT(x) -> R(x)\n"
+        "P(x) -> R(x)\nT(x) -> P(x)\nR(x), P(x) -> T(x)",
+        _UNARY3,
+    )
+    for conclusion in conclusions:
+        entails(sigma, conclusion, cache=False)
+
+
+FAMILIES: dict[str, BenchFamily] = {
+    family.name: family
+    for family in (
+        BenchFamily(
+            "chase-full",
+            "full-tgd fixpoint over a 6-cycle (semi-naive deltas)",
+            _run_chase_full,
+        ),
+        BenchFamily(
+            "chase-existential",
+            "null-inventing chase under a round budget",
+            _run_chase_existential,
+        ),
+        BenchFamily(
+            "rewrite-linear",
+            "Algorithm 1 on Examples 9 and 10 (guarded → linear)",
+            _run_rewrite_linear,
+        ),
+        BenchFamily(
+            "rewrite-guarded",
+            "Algorithm 2 on Example 9 (frontier-guarded → guarded)",
+            _run_rewrite_guarded,
+        ),
+        BenchFamily(
+            "rewrite-full",
+            "full-tgd rewriting of the Example 5.2 composition rule",
+            _run_rewrite_full,
+            smoke=False,  # the largest family: kept out of CI smoke
+        ),
+        BenchFamily(
+            "entails-cold",
+            "cold chase-based entailment battery (cache disabled)",
+            _run_entails_cold,
+        ),
+    )
+}
+
+
+def resolve_families(
+    selector: str | None, *, smoke_only: bool = False
+) -> list[BenchFamily]:
+    """``selector`` is a comma-separated family list, ``"all"``, or
+    ``None`` (→ every family, or the smoke subset with
+    ``smoke_only``)."""
+    if selector and selector != "all":
+        chosen = []
+        for name in selector.split(","):
+            name = name.strip()
+            if name not in FAMILIES:
+                known = ", ".join(sorted(FAMILIES))
+                raise ValueError(
+                    f"unknown bench family {name!r} (known: {known})"
+                )
+            chosen.append(FAMILIES[name])
+        return chosen
+    families = list(FAMILIES.values())
+    if smoke_only:
+        families = [family for family in families if family.smoke]
+    return families

@@ -1,0 +1,30 @@
+"""Environment fingerprints for trajectory files.
+
+Wall-clock numbers only mean something relative to the machine and
+interpreter that produced them, so every ``BENCH_*.json`` embeds a
+fingerprint and :mod:`repro.perf.compare` gates wall-time regressions
+on fingerprint *equality*: a committed baseline from a different
+machine still gates the deterministic counters, while a same-job
+baseline (the CI self-test) gates seconds too.
+
+``node`` is deliberately included — two CI runners with identical
+platform strings can still differ wildly in sustained clock speed, and
+a false wall-time alarm is worse than a skipped one.
+"""
+
+from __future__ import annotations
+
+import platform
+
+__all__ = ["environment_fingerprint"]
+
+
+def environment_fingerprint() -> dict[str, str]:
+    """The identity under which wall-clock comparisons are valid."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "node": platform.node(),
+    }

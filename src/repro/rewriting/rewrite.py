@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from ..dependencies.classes import TGDClass, all_in_class, in_class, set_width
 from ..dependencies.enumeration import (
@@ -62,6 +62,9 @@ from ..search import (
 )
 from ..search.kernel import DEFAULT_CHUNK_SIZE
 from ..telemetry import TELEMETRY, MetricsProbe, span
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..telemetry.report import RunReport
 
 __all__ = [
     "RewriteStatus",
@@ -130,6 +133,27 @@ class RewriteResult:
     @property
     def succeeded(self) -> bool:
         return self.status == RewriteStatus.SUCCESS
+
+    def run_report(self) -> "RunReport":
+        """The schema-versioned observability artifact for this run:
+        target class / width / jobs plus this run's counter delta and
+        the process-wide histogram state (see
+        :mod:`repro.telemetry.report`)."""
+        from ..telemetry.report import RunReport, build_run_report
+
+        config: dict[str, object] = {
+            "engine": "rewrite",
+            "target_class": str(self.target_class),
+            "width": list(self.width),
+            "jobs": self.jobs,
+            "status": self.status,
+            "short_circuit": self.short_circuit,
+            "exhausted": self.exhausted,
+        }
+        report: RunReport = build_run_report(
+            "rewrite", config, counters=self.metrics
+        )
+        return report
 
     def __str__(self) -> str:
         n, m = self.width

@@ -57,15 +57,21 @@ class EntailmentDecider:
     Entailment verdicts are memoized per process in
     :data:`repro.entailment.ENTAILMENT_CACHE`; under ``jobs > 1`` each
     worker keeps its own cache instance that stays warm across the
-    chunks it decides.
+    chunks it decides.  ``cache=False`` forces every decision to a cold
+    chase — how each candidate's verdict partitions across workers then
+    no longer affects which chases run, making the full operation-count
+    telemetry (not just the outcome) invariant in ``jobs``; the
+    jobs-parity tests rely on this.
     """
 
     premises: tuple
     max_rounds: int | None = None
+    cache: bool = True
 
     def decide(self, candidate: object) -> Verdict:
         verdict = entails(
-            self.premises, candidate, max_rounds=self.max_rounds
+            self.premises, candidate, max_rounds=self.max_rounds,
+            cache=self.cache,
         )
         if verdict is TriBool.TRUE:
             return Verdict.ACCEPT

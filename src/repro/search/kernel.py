@@ -25,14 +25,19 @@ field of the outcome except ``elapsed_seconds`` (and, under a
 ``(source, decider, cursor, budget, prune, stop_after_accepts)`` —
 independent of ``jobs`` and ``chunk_size``.
 
-Telemetry: workers run a counters-only telemetry instance and their
-counter deltas (entailment calls, cache hits, chase rounds, …) are
-merged back into the coordinating process, so ``--profile`` totals are
+Telemetry: workers run a private telemetry instance and ship their
+counter deltas (entailment calls, cache hits, chase rounds, …),
+histogram deltas (probe fan-out, entailment latencies, chunk
+durations), and span trees back with each chunk's verdicts; the
+coordinator merges all three, so ``--profile``/``--trace`` output is
 complete under ``jobs>1``.  The kernel itself counts
 ``search.candidates``, ``search.pruned``, ``search.chunks``, and
-``search.workers``.  Operation *counts* may differ between sequential
-and parallel runs (workers decide candidates the ordered merge then
-prunes or truncates); the outcome does not.
+``search.workers``, and observes ``time.search_chunk`` per chunk.
+Operation *counts* may differ between sequential and parallel runs
+(workers decide candidates the ordered merge then prunes or
+truncates); with per-candidate caching disabled in the decider, the
+value-deterministic counters and histograms are jobs-invariant — see
+``tests/test_search.py``.  The outcome never depends on ``jobs``.
 """
 
 from __future__ import annotations
@@ -45,7 +50,15 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from ..telemetry import TELEMETRY, counter_delta, span
+from ..telemetry import (
+    TELEMETRY,
+    Histogram,
+    MemorySink,
+    Span,
+    counter_delta,
+    histogram_map_delta,
+    span,
+)
 from .deciders import Decider, Verdict
 from .source import CandidateSource, Cursor
 
@@ -207,39 +220,101 @@ class _Collector:
 # ----------------------------------------------------------------------
 
 
-def _worker_init(counters_enabled: bool) -> None:
+_WORKER_SINK: MemorySink | None = None
+
+
+def _worker_init(counters_enabled: bool, spans_enabled: bool) -> None:
     """Reset the telemetry singleton a forked worker inherited.
 
     Sinks belong to the parent (flushing them here would corrupt shared
     file handles), so they are detached without flushing; counters are
     re-enabled when the parent records them so worker-side operation
-    counts can be merged back chunk by chunk.
+    counts can be merged back chunk by chunk.  When the parent also
+    records spans, the worker collects its own span trees into a private
+    :class:`MemorySink` and ships each chunk's roots back with the
+    verdicts, so ``--profile``/``--trace`` see the whole forest under
+    ``jobs > 1``.
     """
+    global _WORKER_SINK
     TELEMETRY.sinks.clear()
     TELEMETRY.spans = False
     TELEMETRY.counters.clear()
     TELEMETRY.gauges.clear()
+    TELEMETRY.histograms.clear()
     TELEMETRY.enabled = counters_enabled
+    # A forked worker also inherits the parent's open-span stack (the
+    # "search" span); without clearing it, worker spans would nest under
+    # a span that closes in another process and never surface as roots.
+    TELEMETRY.stack.clear()
+    _WORKER_SINK = None
+    if counters_enabled and spans_enabled:
+        _WORKER_SINK = MemorySink()
+        TELEMETRY.sinks.append(_WORKER_SINK)
+        TELEMETRY.spans = True
 
 
 def _decide_chunk(
     decider: Decider, items: Sequence
-) -> tuple[list[Verdict], dict[str, int]]:
+) -> tuple[list[Verdict], dict[str, int], dict[str, Histogram], tuple[Span, ...]]:
     """Decide one chunk; returns verdicts (in chunk order) plus the
-    worker's telemetry counter delta for merge-back.
+    worker's telemetry deltas for merge-back: counter delta, histogram
+    delta, and the span trees rooted during this chunk.
 
     Runs in a worker process whose module globals — the entailment memo
     in particular — persist across the chunks it is handed, so each
     worker accumulates its own warm cache.
     """
-    base = TELEMETRY.snapshot() if TELEMETRY.enabled else None
+    enabled = TELEMETRY.enabled
+    base = TELEMETRY.snapshot() if enabled else None
+    hist_base = TELEMETRY.histogram_snapshot() if enabled else None
+    sink = _WORKER_SINK
+    roots_before = len(sink.roots) if sink is not None else 0
+    chunk_started = time.perf_counter() if enabled else 0.0
     verdicts = [decider.decide(item) for item in items]
-    delta = (
-        counter_delta(base, TELEMETRY.snapshot())
-        if base is not None
-        else {}
+    if not enabled:
+        return verdicts, {}, {}, ()
+    TELEMETRY.observe(
+        "time.search_chunk", time.perf_counter() - chunk_started
     )
-    return verdicts, delta
+    delta = counter_delta(base or {}, TELEMETRY.snapshot())
+    hist_delta = histogram_map_delta(
+        hist_base, TELEMETRY.histogram_snapshot()
+    )
+    roots = tuple(sink.roots[roots_before:]) if sink is not None else ()
+    return verdicts, delta, hist_delta, roots
+
+
+def _replay_worker_spans(roots: Sequence[Span]) -> None:
+    """Graft span trees shipped back from a worker into the live trace.
+
+    The trees are re-rooted under the coordinator's currently open span
+    (the ``search`` span), their depths fixed up recursively, and every
+    span re-emitted to the attached sinks in postorder — the same
+    children-before-parents stream an in-process run would have
+    produced, so ``repro stats`` and the tree renderer need no special
+    case for parallel runs.
+    """
+    if not TELEMETRY.spans or not roots:
+        return
+    stack = TELEMETRY.stack
+    parent = stack[-1] if stack else None
+    base_depth = parent.depth + 1 if parent is not None else 0
+
+    def fix_depth(sp: Span, depth: int) -> None:
+        sp.depth = depth
+        for child in sp.children:
+            fix_depth(child, depth + 1)
+
+    def emit(sp: Span) -> None:
+        for child in sp.children:
+            emit(child)
+        TELEMETRY.emit_span(sp)
+
+    for root in roots:
+        fix_depth(root, base_depth)
+        if parent is not None:
+            parent.children.append(root)
+        emit(root)
 
 
 # ----------------------------------------------------------------------
@@ -351,7 +426,7 @@ def _run_parallel(
     with ProcessPoolExecutor(
         max_workers=jobs,
         initializer=_worker_init,
-        initargs=(TELEMETRY.enabled,),
+        initargs=(TELEMETRY.enabled, TELEMETRY.spans),
     ) as executor:
 
         def next_chunk() -> tuple | None:
@@ -381,11 +456,13 @@ def _run_parallel(
         leftover = False  # a merged chunk had undecided candidates left
         while pending:
             items, future = pending.popleft()
-            verdicts, delta = future.result()
+            verdicts, delta, hist_delta, worker_roots = future.result()
             if TELEMETRY.enabled:
                 TELEMETRY.count("search.chunks")
                 for name, value in delta.items():
                     TELEMETRY.count(name, value)
+                TELEMETRY.merge_histograms(hist_delta)
+                _replay_worker_spans(worker_roots)
             for candidate, verdict in zip(items, verdicts):
                 if not collector.gate():
                     # the gate blocked with this candidate undecided

@@ -33,31 +33,55 @@ Typical use::
 """
 
 from .core import TELEMETRY, MetricsProbe, TelemetryState, counter_delta
-from .render import render_counters, render_report, render_tree
+from .histogram import Histogram, histogram_map_delta, merge_histogram_maps
+from .render import (
+    format_observation,
+    format_seconds,
+    render_counters,
+    render_histograms,
+    render_report,
+    render_tree,
+)
+from .report import RUN_REPORT_SCHEMA, RunReport, build_run_report, span_digest
 from .sinks import JSONLSink, MemorySink, Sink
 from .spans import Span, span
 from .stats import load_events, summarize_events, summarize_jsonl
+from .traceevent import ChromeTraceSink, trace_events_of
 
 __all__ = [
     "TELEMETRY",
     "TelemetryState",
     "MetricsProbe",
     "counter_delta",
+    "Histogram",
+    "histogram_map_delta",
+    "merge_histogram_maps",
     "Span",
     "span",
     "count",
     "gauge",
+    "observe",
     "enable",
     "disable",
     "reset",
     "enabled",
     "counter_snapshot",
+    "histogram_snapshot",
     "Sink",
     "MemorySink",
     "JSONLSink",
+    "ChromeTraceSink",
+    "trace_events_of",
     "render_tree",
     "render_counters",
+    "render_histograms",
     "render_report",
+    "format_observation",
+    "format_seconds",
+    "RUN_REPORT_SCHEMA",
+    "RunReport",
+    "build_run_report",
+    "span_digest",
     "load_events",
     "summarize_events",
     "summarize_jsonl",
@@ -93,6 +117,16 @@ def gauge(name: str, value: float) -> None:
     TELEMETRY.gauge(name, value)
 
 
+def observe(name: str, value: float) -> None:
+    """Record one histogram observation (no-op while disabled)."""
+    TELEMETRY.observe(name, value)
+
+
 def counter_snapshot() -> dict[str, int]:
     """A copy of the current counter values."""
     return TELEMETRY.snapshot()
+
+
+def histogram_snapshot() -> dict[str, "Histogram"]:
+    """A deep copy of the current histogram state."""
+    return TELEMETRY.histogram_snapshot()

@@ -17,6 +17,8 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Mapping
 
+from .histogram import Histogram, histogram_map_delta, merge_histogram_maps
+
 if TYPE_CHECKING:  # pragma: no cover
     from .sinks import Sink
     from .spans import Span
@@ -38,14 +40,15 @@ class TelemetryState:
     bookkeeping showing up in timings.
     """
 
-    __slots__ = ("enabled", "spans", "counters", "gauges", "sinks",
-                 "_lock", "_local")
+    __slots__ = ("enabled", "spans", "counters", "gauges", "histograms",
+                 "sinks", "_lock", "_local")
 
     def __init__(self) -> None:
         self.enabled = False
         self.spans = False
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
         self.sinks: list["Sink"] = []
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -61,23 +64,29 @@ class TelemetryState:
             self.enabled = True
 
     def disable(self) -> None:
-        """Stop recording, flush the counter snapshot to every sink and
-        detach them.  Counter values survive until :meth:`reset` so they
-        can still be inspected afterwards."""
+        """Stop recording, flush the counter and histogram snapshots to
+        every sink and detach them.  Values survive until :meth:`reset`
+        so they can still be inspected afterwards."""
         with self._lock:
             sinks, self.sinks = list(self.sinks), []
             self.enabled = False
             self.spans = False
             counters = dict(self.counters)
             gauges = dict(self.gauges)
+            histograms = {
+                name: hist.copy() for name, hist in self.histograms.items()
+            }
         for sink in sinks:
             sink.on_counters(counters, gauges)
+            if histograms:
+                sink.on_histograms(histograms)
             sink.close()
 
     def reset(self) -> None:
         with self._lock:
             self.counters.clear()
             self.gauges.clear()
+            self.histograms.clear()
 
     # -- events -------------------------------------------------------
 
@@ -93,6 +102,20 @@ class TelemetryState:
         with self._lock:
             self.gauges[name] = value
 
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram.
+
+        Engine hot paths guard the call with ``if TELEMETRY.enabled:``
+        (one attribute lookup when off, like counters); the enabled
+        path is one bucket increment under the shared lock."""
+        if not self.enabled:
+            return
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.observe(value)
+
     def snapshot(self) -> dict[str, int]:
         with self._lock:
             return dict(self.counters)
@@ -100,6 +123,22 @@ class TelemetryState:
     def gauge_snapshot(self) -> dict[str, float]:
         with self._lock:
             return dict(self.gauges)
+
+    def histogram_snapshot(self) -> dict[str, Histogram]:
+        """Deep-copied histogram state (safe to keep across later
+        observations — the basis for delta computations)."""
+        with self._lock:
+            return {
+                name: hist.copy() for name, hist in self.histograms.items()
+            }
+
+    def merge_histograms(self, deltas: Mapping[str, Histogram]) -> None:
+        """Fold histogram deltas (e.g. shipped back from a search
+        worker) into the live state."""
+        if not deltas:
+            return
+        with self._lock:
+            merge_histogram_maps(self.histograms, deltas)
 
     # -- span support (used by repro.telemetry.spans) -----------------
 

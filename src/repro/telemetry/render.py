@@ -11,10 +11,17 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
+from .histogram import Histogram
 from .sinks import MemorySink
 from .spans import Span
 
-__all__ = ["render_tree", "render_counters", "render_report", "format_seconds"]
+__all__ = [
+    "render_tree",
+    "render_counters",
+    "render_histograms",
+    "render_report",
+    "format_seconds",
+]
 
 
 def format_seconds(seconds: float) -> str:
@@ -23,6 +30,15 @@ def format_seconds(seconds: float) -> str:
     if seconds >= 1e-3:
         return f"{seconds * 1e3:.1f}ms"
     return f"{seconds * 1e6:.0f}µs"
+
+
+def format_observation(name: str, value: float) -> str:
+    """Histogram values are durations when the metric is namespaced
+    under ``time.`` (the instrumentation convention) and plain counts
+    otherwise."""
+    if name.startswith("time."):
+        return format_seconds(value)
+    return f"{value:g}"
 
 
 def _format_attrs(attributes: Mapping[str, object]) -> str:
@@ -70,8 +86,29 @@ def render_counters(
     return "\n".join(lines)
 
 
+def render_histograms(histograms: Mapping[str, Histogram]) -> str:
+    """A distribution summary table: count, p50/p90/p99, max per metric
+    (quantiles are bucket upper edges — see
+    :mod:`repro.telemetry.histogram`)."""
+    lines = [
+        f"  {'histogram':<34} {'count':>8} {'p50':>9} "
+        f"{'p90':>9} {'p99':>9} {'max':>9}"
+    ]
+    for name, hist in sorted(histograms.items()):
+        maximum = hist.max if hist.max is not None else 0.0
+        lines.append(
+            f"  {name:<34} {hist.count:>8} "
+            f"{format_observation(name, hist.quantile(0.5)):>9} "
+            f"{format_observation(name, hist.quantile(0.9)):>9} "
+            f"{format_observation(name, hist.quantile(0.99)):>9} "
+            f"{format_observation(name, maximum):>9}"
+        )
+    return "\n".join(lines)
+
+
 def render_report(sink: MemorySink) -> str:
-    """The full ``--profile`` report: span tree plus counter table."""
+    """The full ``--profile`` report: span tree, counter table, and
+    histogram percentile summaries."""
     parts: list[str] = []
     if sink.roots:
         parts.append("spans:")
@@ -79,6 +116,9 @@ def render_report(sink: MemorySink) -> str:
     if sink.counters or sink.gauges:
         parts.append("counters:")
         parts.append(render_counters(sink.counters, sink.gauges))
+    if sink.histograms:
+        parts.append("histograms:")
+        parts.append(render_histograms(sink.histograms))
     if not parts:
         return "telemetry: nothing recorded"
     return "\n".join(parts)

@@ -3,9 +3,12 @@
 * :class:`MemorySink` — keeps closed spans (and the root trees) plus the
   final counter snapshot in memory; feeds the tree renderer.
 * :class:`JSONLSink` — one JSON object per line: a ``{"type": "span"}``
-  event per closed span (children precede parents) and a final
-  ``{"type": "counters"}`` record at flush time.  The format is what
-  ``python -m repro stats`` consumes.
+  event per closed span (children precede parents) and final
+  ``{"type": "counters"}`` / ``{"type": "histograms"}`` records at
+  flush time.  The format is what ``python -m repro stats`` consumes.
+
+For Chrome-trace-event export (``chrome://tracing`` / Perfetto), see
+:class:`repro.telemetry.traceevent.ChromeTraceSink`.
 """
 
 from __future__ import annotations
@@ -13,19 +16,25 @@ from __future__ import annotations
 import json
 from typing import IO, Any, Mapping
 
+from .histogram import Histogram
 from .spans import Span
 
 __all__ = ["Sink", "MemorySink", "JSONLSink"]
 
 
 class Sink:
-    """Base class: override any subset of the three callbacks."""
+    """Base class: override any subset of the four callbacks."""
 
     def on_span(self, span: Span) -> None:  # pragma: no cover - interface
         pass
 
     def on_counters(
         self, counters: Mapping[str, int], gauges: Mapping[str, float]
+    ) -> None:  # pragma: no cover - interface
+        pass
+
+    def on_histograms(
+        self, histograms: Mapping[str, Histogram]
     ) -> None:  # pragma: no cover - interface
         pass
 
@@ -41,6 +50,7 @@ class MemorySink(Sink):
         self.roots: list[Span] = []
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
 
     def on_span(self, span: Span) -> None:
         self.spans.append(span)
@@ -53,6 +63,9 @@ class MemorySink(Sink):
         self.counters = dict(counters)
         self.gauges = dict(gauges)
 
+    def on_histograms(self, histograms: Mapping[str, Histogram]) -> None:
+        self.histograms = dict(histograms)
+
 
 class JSONLSink(Sink):
     """Stream events to a JSONL file (the ``--trace FILE.jsonl`` sink).
@@ -64,13 +77,15 @@ class JSONLSink(Sink):
 
     def __init__(self, target: str | IO[str]):
         if hasattr(target, "write"):
-            self._file: IO[str] = target  # type: ignore[assignment]
+            self._file: IO[str] | None = target  # type: ignore[assignment]
             self._owns = False
         else:
             self._file = open(target, "w", encoding="utf-8")
             self._owns = True
 
     def _write(self, record: dict[str, Any]) -> None:
+        if self._file is None:  # closed: a late event has nowhere to go
+            return
         self._file.write(
             json.dumps(record, sort_keys=True, default=str) + "\n"
         )
@@ -89,7 +104,21 @@ class JSONLSink(Sink):
             record["gauges"] = dict(gauges)
         self._write(record)
 
+    def on_histograms(self, histograms: Mapping[str, Histogram]) -> None:
+        self._write({
+            "type": "histograms",
+            "histograms": {
+                name: hist.to_dict() for name, hist in histograms.items()
+            },
+        })
+
     def close(self) -> None:
-        self._file.flush()
+        """Flush and (for owned paths) close the file.  Idempotent: a
+        mid-run crash can reach close via both the engine's cleanup and
+        the CLI's ``finally`` without tripping on a closed handle."""
+        if self._file is None:
+            return
+        file, self._file = self._file, None
+        file.flush()
         if self._owns:
-            self._file.close()
+            file.close()

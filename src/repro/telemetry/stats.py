@@ -1,10 +1,18 @@
 """Offline analysis of JSONL trace files (``python -m repro stats``).
 
 A trace file (written by :class:`~repro.telemetry.sinks.JSONLSink`)
-interleaves ``span`` events with ``counters`` records; a single file may
-hold several runs' worth of both.  :func:`summarize_jsonl` aggregates
-spans by name (count / total / mean / max) and sums every counter
-record, producing the report the CLI prints.
+interleaves ``span`` events with ``counters`` and ``histograms``
+records; a single file may hold several runs' worth of each.
+:func:`summarize_jsonl` aggregates spans by name — count, total
+(inclusive), *self* (exclusive of children), mean, max — sums every
+counter record, merges histogram records (exact: fixed buckets), and
+produces the report the CLI prints.
+
+Self time is recovered from the flat event stream without rebuilding
+trees: spans are emitted in postorder (children before parents, each
+child at ``depth + 1``), so when a span at depth ``d`` arrives, the
+accumulated durations waiting at depth ``d + 1`` are exactly its
+children's.
 """
 
 from __future__ import annotations
@@ -13,7 +21,8 @@ import json
 from pathlib import Path
 from typing import Any, Iterator
 
-from .render import format_seconds
+from .histogram import Histogram
+from .render import format_observation, format_seconds
 
 __all__ = ["load_events", "summarize_events", "summarize_jsonl"]
 
@@ -40,20 +49,30 @@ def summarize_events(events: Iterator[dict[str, Any]]) -> str:
     spans: dict[str, dict[str, float]] = {}
     counters: dict[str, int] = {}
     gauges: dict[str, float] = {}
+    histograms: dict[str, Histogram] = {}
     span_events = 0
     counter_records = 0
     errors = 0
+    # Durations of completed spans per depth, awaiting their parent
+    # (the postorder trick described in the module docstring).
+    pending_child_time: dict[int, float] = {}
     for event in events:
         kind = event.get("type")
         if kind == "span":
             span_events += 1
             name = event.get("name", "?")
             duration = float(event.get("duration", 0.0))
+            depth = int(event.get("depth", 0))
+            child_time = pending_child_time.pop(depth + 1, 0.0)
+            pending_child_time[depth] = (
+                pending_child_time.get(depth, 0.0) + duration
+            )
             agg = spans.setdefault(
-                name, {"count": 0, "total": 0.0, "max": 0.0}
+                name, {"count": 0, "total": 0.0, "self": 0.0, "max": 0.0}
             )
             agg["count"] += 1
             agg["total"] += duration
+            agg["self"] += max(duration - child_time, 0.0)
             agg["max"] = max(agg["max"], duration)
             if event.get("status") == "error":
                 errors += 1
@@ -62,17 +81,26 @@ def summarize_events(events: Iterator[dict[str, Any]]) -> str:
             for name, value in event.get("counters", {}).items():
                 counters[name] = counters.get(name, 0) + int(value)
             gauges.update(event.get("gauges", {}))
+        elif kind == "histograms":
+            for name, data in event.get("histograms", {}).items():
+                recorded = Histogram.from_dict(data)
+                known = histograms.get(name)
+                if known is None:
+                    histograms[name] = recorded
+                else:
+                    known.merge(recorded)
 
     lines = [
         f"trace: {span_events} span events, "
         f"{counter_records} counter records"
+        + (f", {len(histograms)} histograms" if histograms else "")
         + (f", {errors} errored spans" if errors else "")
     ]
     if spans:
         lines.append("")
         lines.append(
             f"  {'span':<34} {'count':>7} {'total':>10} "
-            f"{'mean':>10} {'max':>10}"
+            f"{'self':>10} {'mean':>10} {'max':>10}"
         )
         for name, agg in sorted(
             spans.items(), key=lambda kv: -kv[1]["total"]
@@ -81,6 +109,7 @@ def summarize_events(events: Iterator[dict[str, Any]]) -> str:
             lines.append(
                 f"  {name:<34} {count:>7} "
                 f"{format_seconds(agg['total']):>10} "
+                f"{format_seconds(agg['self']):>10} "
                 f"{format_seconds(agg['total'] / count):>10} "
                 f"{format_seconds(agg['max']):>10}"
             )
@@ -91,6 +120,21 @@ def summarize_events(events: Iterator[dict[str, Any]]) -> str:
             lines.append(f"  {name:<42} {value:>12}")
         for name, value in sorted(gauges.items()):
             lines.append(f"  {name:<42} {value:>12g}")
+    if histograms:
+        lines.append("")
+        lines.append(
+            f"  {'histogram':<34} {'count':>8} {'p50':>9} "
+            f"{'p90':>9} {'p99':>9} {'max':>9}"
+        )
+        for name, hist in sorted(histograms.items()):
+            maximum = hist.max if hist.max is not None else 0.0
+            lines.append(
+                f"  {name:<34} {hist.count:>8} "
+                f"{format_observation(name, hist.quantile(0.5)):>9} "
+                f"{format_observation(name, hist.quantile(0.9)):>9} "
+                f"{format_observation(name, hist.quantile(0.99)):>9} "
+                f"{format_observation(name, maximum):>9}"
+            )
     return "\n".join(lines)
 
 

@@ -1,0 +1,149 @@
+"""Chrome trace-event export (``chrome://tracing`` / Perfetto).
+
+:class:`ChromeTraceSink` serializes the span stream into the Trace
+Event Format's JSON object form::
+
+    {"traceEvents": [
+        {"name": "process_name", "ph": "M", ...},
+        {"name": "chase", "ph": "X", "ts": ..., "dur": ..., ...},
+        ...
+    ], "displayTimeUnit": "ms"}
+
+Each closed span becomes one complete (``"ph": "X"``) event: ``ts`` is
+the span's wall-clock start in microseconds, ``dur`` its duration in
+microseconds, ``args`` its attributes (stringified when not
+JSON-native).  Spans from different threads land on different ``tid``
+rows — thread identifiers are remapped to small dense integers so the
+output is stable across runs of the same single-threaded workload.
+
+The file is written at :meth:`close` time (the trace-event JSON object
+form is not appendable); events buffered before a crash are still
+flushed because the CLI disables telemetry — which closes sinks — in a
+``finally`` block, and :meth:`close` is idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import IO, Any, Mapping
+
+from .sinks import Sink
+from .spans import Span
+
+__all__ = ["ChromeTraceSink", "trace_events_of"]
+
+_PID = 1  # single-process trace: one constant process row
+
+
+def _span_event(span: Span, tid: int) -> dict[str, Any]:
+    """One complete ("X") trace event for a closed span."""
+    event: dict[str, Any] = {
+        "name": span.name,
+        "cat": span.name.split(".", 1)[0],
+        "ph": "X",
+        "ts": span.start_ts * 1e6,
+        "dur": span.duration * 1e6,
+        "pid": _PID,
+        "tid": tid,
+    }
+    args: dict[str, Any] = {}
+    for key, value in span.attributes.items():
+        args[key] = (
+            value
+            if isinstance(value, (int, float, str, bool)) or value is None
+            else str(value)
+        )
+    if span.status == "error":
+        args["status"] = "error"
+        if span.error is not None:
+            args["error"] = span.error
+    if args:
+        event["args"] = args
+    return event
+
+
+class ChromeTraceSink(Sink):
+    """Buffer spans and counters; write one Perfetto-loadable JSON
+    object on close.
+
+    ``target`` is a path or an open text file (the CLI's
+    ``--trace-chrome FILE.json`` constructs one with a path).
+    """
+
+    def __init__(self, target: str | IO[str]):
+        if hasattr(target, "write"):
+            self._file: IO[str] | None = target  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._file = open(target, "w", encoding="utf-8")
+            self._owns = True
+        self._events: list[dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": 0,
+                "args": {"name": "repro"},
+            }
+        ]
+        self._tids: dict[int, int] = {}
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            tid = self._tids[ident] = len(self._tids)
+        return tid
+
+    def on_span(self, span: Span) -> None:
+        self._events.append(_span_event(span, self._tid()))
+
+    def on_counters(
+        self, counters: Mapping[str, int], gauges: Mapping[str, float]
+    ) -> None:
+        # Final totals ride along as one metadata-style counter event;
+        # per-name "C" events need per-sample timestamps, which counters
+        # (monotonic totals flushed once) do not have.
+        if counters or gauges:
+            self._events.append(
+                {
+                    "name": "repro.counters",
+                    "ph": "I",
+                    "s": "g",
+                    "ts": max(
+                        (e["ts"] + e.get("dur", 0.0)
+                         for e in self._events if "ts" in e),
+                        default=0.0,
+                    ),
+                    "pid": _PID,
+                    "tid": 0,
+                    "args": {**dict(counters), **dict(gauges)},
+                }
+            )
+
+    def close(self) -> None:
+        if self._file is None:
+            return
+        file, self._file = self._file, None
+        json.dump(
+            {"traceEvents": self._events, "displayTimeUnit": "ms"},
+            file,
+            sort_keys=True,
+            default=str,
+        )
+        file.write("\n")
+        file.flush()
+        if self._owns:
+            file.close()
+
+
+def trace_events_of(path: str) -> list[dict[str, Any]]:
+    """Load a written trace file and return its event list (used by
+    tests and ad-hoc tooling; raises on a malformed file)."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: not a trace-event JSON object")
+    return events

@@ -211,3 +211,160 @@ class TestObservability:
         out = capsys.readouterr().out
         assert "chase.round" in out
         assert "chase.nulls_created" in out
+
+    def test_profile_prints_histogram_summaries(
+        self, rules_file, data_file, capsys
+    ):
+        assert main(["chase", rules_file, data_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "histograms:" in out
+        assert "chase.round_triggers" in out
+        assert "p50" in out and "p99" in out
+
+    def test_trace_is_flushed_when_the_engine_raises(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """The satellite fix: a crash mid-run must still leave a
+        readable --trace file (finally + idempotent close)."""
+        import json
+
+        import repro.cli as cli
+        from repro.telemetry import span
+
+        def exploding(args):
+            with span("doomed.work"):
+                raise RuntimeError("mid-run crash")
+
+        monkeypatch.setattr(cli, "_cmd_classify", exploding)
+        trace = tmp_path / "crash.jsonl"
+        with pytest.raises(RuntimeError, match="mid-run crash"):
+            main(["classify", "ignored.txt", "--trace", str(trace)])
+        events = [
+            json.loads(line)
+            for line in trace.read_text().strip().splitlines()
+        ]
+        spans = [e for e in events if e["type"] == "span"]
+        assert [s["name"] for s in spans] == ["doomed.work"]
+        assert spans[0]["status"] == "error"
+        assert "counters" in {e["type"] for e in events}
+
+    def test_report_writes_run_report_artifact(self, tmp_path, capsys):
+        import json
+
+        rules = tmp_path / "e9.txt"
+        rules.write_text("R(x) -> P(x)\nR(x), P(x) -> T(x)\n")
+        report = tmp_path / "report.json"
+        assert main(
+            ["rewrite", str(rules), "--target", "linear",
+             "--report", str(report)]
+        ) == 0
+        capsys.readouterr()
+        data = json.loads(report.read_text())
+        assert data["schema"] == "repro/run-report@1"
+        assert data["command"] == "rewrite"
+        assert data["config"]["command"] == "rewrite"
+        assert data["config"]["target"] == "linear"
+        assert data["counters"]["entailment.calls"] > 0
+        assert "time.entails" in data["histograms"]
+        assert "time.entails" in data["histogram_summary"]
+        paths = [entry["path"] for entry in data["span_digest"]]
+        assert "rewrite/rewrite.search" in paths
+        assert any(p.endswith("entails/chase/chase.round") for p in paths)
+
+    def test_trace_chrome_writes_loadable_trace(
+        self, rules_file, data_file, tmp_path, capsys
+    ):
+        from repro.telemetry import trace_events_of
+
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["chase", rules_file, data_file, "--trace-chrome", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        events = trace_events_of(str(trace))
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "I"} <= phases
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "chase" in names and "chase.round" in names
+
+
+class TestBenchCommand:
+    def test_runs_one_family_and_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "bench"
+        assert main(
+            ["bench", "--families", "chase-full", "--repeat", "1",
+             "--json", "--out", str(out)]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "chase-full" in stdout and "best" in stdout
+        artifact = out / "BENCH_chase-full.json"
+        data = json.loads(artifact.read_text())
+        assert data["schema"] == "repro/bench@1"
+        assert data["family"] == "chase-full"
+        assert data["counters"]["chase.rounds"] >= 1
+        assert data["fingerprint"]["python"]
+
+    def test_unknown_family_fails_fast(self, capsys):
+        assert main(["bench", "--families", "no-such"]) == 1
+        assert "unknown bench family" in capsys.readouterr().err
+
+    def test_compare_passes_on_a_fresh_baseline(self, tmp_path, capsys):
+        out = tmp_path / "bench"
+        assert main(
+            ["bench", "--families", "chase-full", "--repeat", "2",
+             "--json", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        # generous threshold: the counter gates are exact; the wall gate
+        # only needs to tolerate same-machine timer jitter here
+        assert main(
+            ["bench", "--families", "chase-full", "--repeat", "2",
+             "--compare", str(out), "--threshold", "2.0"]
+        ) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_injected_wall_regression_trips_the_gate(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "bench"
+        assert main(
+            ["bench", "--families", "chase-full", "--repeat", "2",
+             "--json", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["bench", "--families", "chase-full", "--repeat", "2",
+             "--compare", str(out), "--threshold", "2.0",
+             "--inject", "wall=10"]
+        ) == 1
+        assert "wall" in capsys.readouterr().out
+
+    def test_injected_probe_regression_trips_the_gate(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "bench"
+        assert main(
+            ["bench", "--families", "chase-full", "--repeat", "1",
+             "--json", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["bench", "--families", "chase-full", "--repeat", "1",
+             "--compare", str(out), "--inject", "probes=1.5"]
+        ) == 1
+        output = capsys.readouterr().out
+        assert "hom.index_probes" in output or "chase.triggers" in output
+
+    def test_missing_baseline_is_reported_not_fatal(
+        self, tmp_path, capsys
+    ):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(
+            ["bench", "--families", "chase-full", "--repeat", "1",
+             "--compare", str(empty)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "no baseline for: chase-full" in captured.err

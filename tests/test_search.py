@@ -439,3 +439,160 @@ class TestSearchTelemetry:
         (root,) = [s for s in sink.roots if s.name == "search"]
         assert root.attributes["considered"] == 3
         assert root.attributes["stop_reason"] == "drained"
+
+
+# ----------------------------------------------------------------------
+# Merged-telemetry parity on the paper's pinned scenarios
+# ----------------------------------------------------------------------
+
+# The paper scenarios the rewrite regression suite pins semantically:
+# Example 9 (guarded, linearizable), Example 10 (frontier-guarded), and
+# the Example 5.2 composition rule (full tgds).
+_UNARY3 = Schema.of(("R", 1), ("P", 1), ("T", 1))
+_BINARY3 = Schema.of(("R", 2), ("S", 2), ("T", 2))
+_E9_RULES = "R(x) -> P(x)\nR(x), P(x) -> T(x)"
+_E10_RULES = "R(x) -> P(x)\nR(x), P(y) -> T(x)"
+_E52_RULES = "R(x, y), S(y, z) -> T(x, z)"
+
+# Counters warmed by process-local memo caches (certificate cache, plan
+# cache, entailment cache) split differently between one process and
+# four forked workers; search.workers/chunks describe the execution
+# shape itself.  Everything else must merge back bit-identically.
+_NOT_JOBS_INVARIANT = (
+    "analysis.",
+    "hom.plan_",
+    "entailment.cache_",
+    "search.workers",
+    "search.chunks",
+)
+
+
+def _invariant_counters(counters):
+    return {
+        name: value
+        for name, value in counters.items()
+        if not name.startswith(_NOT_JOBS_INVARIANT)
+    }
+
+
+def _invariant_histograms(histograms):
+    # time.* histograms record wall clock — excluded by construction.
+    return {
+        name: hist.to_dict()
+        for name, hist in histograms.items()
+        if not name.startswith("time.")
+    }
+
+
+def _count_spans(roots, name):
+    total = 0
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node.name == name:
+            total += 1
+        stack.extend(node.children)
+    return total
+
+
+class TestMergedTelemetryParity:
+    """--jobs N reports must be complete: counters, histograms, and
+    span forests shipped back from workers make a jobs=4 run's
+    telemetry bit-identical to jobs=1 (modulo wall clock and
+    memoization warmth)."""
+
+    def _measure(self, schema, rules, enumerator_args, jobs):
+        sigma = tuple(parse_tgds(rules, schema))
+        source = CandidateSource.from_enumerator(*enumerator_args)
+        # cache=False: entailment verdicts are then recomputed per
+        # candidate, so entailment.calls / chase counters do not depend
+        # on which process saw a premise-set first.
+        decider = EntailmentDecider(premises=sigma, cache=False)
+        sink = MemorySink()
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+        TELEMETRY.enable(sink)
+        kwargs = {"jobs": jobs}
+        if jobs > 1:
+            kwargs["chunk_size"] = 2
+        outcome = run_search(source, decider, **kwargs)
+        counters = TELEMETRY.snapshot()
+        histograms = TELEMETRY.histogram_snapshot()
+        TELEMETRY.disable()
+        return outcome, counters, histograms, sink.roots
+
+    def _assert_parity(self, schema, rules, enumerator_args):
+        seq = self._measure(schema, rules, enumerator_args, jobs=1)
+        par = self._measure(schema, rules, enumerator_args, jobs=4)
+        assert outcome_key(par[0]) == outcome_key(seq[0])
+        assert _invariant_counters(par[1]) == _invariant_counters(seq[1])
+        assert _invariant_histograms(par[2]) == _invariant_histograms(
+            seq[2]
+        )
+        return seq, par
+
+    def test_e9_linear_candidates(self, unary_schema):
+        from repro.dependencies import enumerate_linear_tgds
+
+        seq, par = self._assert_parity(
+            _UNARY3,
+            _E9_RULES,
+            (enumerate_linear_tgds, _UNARY3, 1, 0),
+        )
+        assert seq[0].accepted  # E9 entails linear candidates
+        assert seq[1]["entailment.calls"] > 0
+
+    def test_e10_frontier_guarded_candidates(self):
+        from repro.dependencies import enumerate_linear_tgds
+
+        self._assert_parity(
+            _UNARY3,
+            _E10_RULES,
+            (enumerate_linear_tgds, _UNARY3, 1, 0),
+        )
+
+    def test_e52_full_tgd_candidates(self):
+        from repro.dependencies import enumerate_full_tgds
+
+        seq, par = self._assert_parity(
+            _BINARY3,
+            _E52_RULES,
+            (enumerate_full_tgds, _BINARY3, 2),
+        )
+        # a multi-atom-body space: the probe-fanout histogram is
+        # populated and merges exactly
+        assert "hom.probe_fanout" in seq[2]
+
+    def test_worker_span_forests_are_shipped_back(self):
+        from repro.dependencies import enumerate_linear_tgds
+
+        seq = self._measure(
+            _UNARY3, _E9_RULES,
+            (enumerate_linear_tgds, _UNARY3, 1, 0), jobs=1,
+        )
+        par = self._measure(
+            _UNARY3, _E9_RULES,
+            (enumerate_linear_tgds, _UNARY3, 1, 0), jobs=4,
+        )
+        seq_entails = _count_spans(seq[3], "entails")
+        par_entails = _count_spans(par[3], "entails")
+        assert seq_entails > 0
+        assert par_entails == seq_entails
+        # replayed worker spans hang off the coordinator's search span
+        (root,) = [s for s in par[3] if s.name == "search"]
+        assert _count_spans(root.children, "entails") == par_entails
+
+    def test_chunk_duration_histogram_only_in_parallel_runs(self):
+        from repro.dependencies import enumerate_linear_tgds
+
+        seq = self._measure(
+            _UNARY3, _E9_RULES,
+            (enumerate_linear_tgds, _UNARY3, 1, 0), jobs=1,
+        )
+        par = self._measure(
+            _UNARY3, _E9_RULES,
+            (enumerate_linear_tgds, _UNARY3, 1, 0), jobs=4,
+        )
+        assert "time.search_chunk" not in seq[2]
+        assert "time.search_chunk" in par[2]
+        assert par[2]["time.search_chunk"].count == par[1]["search.chunks"]

@@ -210,6 +210,79 @@ class TestSinks:
         with pytest.raises(ValueError, match="bad.jsonl:2"):
             summarize_jsonl(path)
 
+    def test_histograms_flush_to_sinks(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        memory = MemorySink()
+        TELEMETRY.enable(memory, JSONLSink(str(path)), spans=False)
+        TELEMETRY.observe("fanout", 4.0)
+        TELEMETRY.observe("fanout", 16.0)
+        TELEMETRY.disable()
+        assert memory.histograms["fanout"].count == 2
+        events = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        (record,) = [e for e in events if e["type"] == "histograms"]
+        assert record["histograms"]["fanout"]["count"] == 2
+
+    def test_jsonl_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JSONLSink(str(path))
+        TELEMETRY.enable(sink)
+        with span("work"):
+            pass
+        TELEMETRY.disable()  # closes the sink
+        sink.close()  # a second close (CLI finally) must be harmless
+        sink.on_span  # the object is still usable as a dead letter:
+        sink.on_counters({"late": 1}, {})  # silently dropped, no crash
+        events = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert [e["type"] for e in events] == ["span", "counters"]
+
+    def test_stats_self_time_excludes_children(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        TELEMETRY.enable(JSONLSink(str(path)))
+        with span("parent"):
+            with span("child"):
+                time.sleep(0.02)
+        TELEMETRY.disable()
+        summary = summarize_jsonl(path)
+        rows = {
+            line.split()[0]: line.split()
+            for line in summary.splitlines()
+            if line.strip().startswith(("parent", "child"))
+        }
+        # columns: name count total self mean max
+        parent_total = rows["parent"][2]
+        parent_self = rows["parent"][3]
+        child_total = rows["child"][2]
+        assert parent_total != parent_self
+        assert child_total == rows["child"][3]  # leaf: self == total
+
+        def _seconds(text):
+            units = {"ns": 1e-9, "µs": 1e-6, "ms": 1e-3, "s": 1.0}
+            for suffix, scale in units.items():
+                if text.endswith(suffix):
+                    return float(text[: -len(suffix)]) * scale
+            return float(text)
+
+        assert _seconds(parent_self) < _seconds(parent_total) / 2
+
+    def test_stats_merges_histogram_records(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for _ in range(2):  # two runs appended to one file
+                TELEMETRY.enable(JSONLSink(handle), spans=False)
+                TELEMETRY.observe("fanout", 4.0)
+                TELEMETRY.disable()
+                TELEMETRY.reset()
+        summary = summarize_jsonl(path)
+        assert "fanout" in summary
+        (row,) = [
+            line for line in summary.splitlines() if "fanout" in line
+        ]
+        assert row.split()[1] == "2"  # merged count across records
+
     def test_render_report_empty(self):
         assert "nothing recorded" in render_report(MemorySink())
 

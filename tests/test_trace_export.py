@@ -1,0 +1,161 @@
+"""Chrome trace-event export (`repro.telemetry.traceevent`).
+
+The acceptance bar: the file a run writes must be structurally valid
+Trace Event Format JSON — the object form with a ``traceEvents`` list,
+"X" complete events carrying microsecond ``ts``/``dur``, a process
+metadata record, and an instant event with the final counter totals.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    TELEMETRY,
+    ChromeTraceSink,
+    span,
+    trace_events_of,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+    yield
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+
+def _run_workload(path):
+    sink = ChromeTraceSink(str(path))
+    TELEMETRY.enable(sink)
+    with span("chase", variant="restricted"):
+        with span("chase.round"):
+            TELEMETRY.count("chase.rounds")
+        with span("chase.round"):
+            TELEMETRY.count("chase.rounds")
+    TELEMETRY.disable()  # flushes counters, closes the sink
+    return sink
+
+
+class TestStructure:
+    def test_object_form_with_display_unit(self, tmp_path):
+        path = tmp_path / "trace.json"
+        _run_workload(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_span_tree_becomes_complete_events(self, tmp_path):
+        path = tmp_path / "trace.json"
+        _run_workload(path)
+        events = trace_events_of(str(path))
+        complete = [e for e in events if e["ph"] == "X"]
+        names = [e["name"] for e in complete]
+        assert names.count("chase.round") == 2
+        assert names.count("chase") == 1
+        for event in complete:
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["dur"] >= 0.0
+            assert event["pid"] == 1
+            assert isinstance(event["tid"], int)
+            assert event["cat"] == "chase"
+
+    def test_children_nest_inside_parent_interval(self, tmp_path):
+        path = tmp_path / "trace.json"
+        _run_workload(path)
+        events = trace_events_of(str(path))
+        by_name = {}
+        for event in events:
+            if event["ph"] == "X":
+                by_name.setdefault(event["name"], []).append(event)
+        parent = by_name["chase"][0]
+        for child in by_name["chase.round"]:
+            assert child["ts"] >= parent["ts"]
+            assert child["ts"] + child["dur"] <= (
+                parent["ts"] + parent["dur"] + 1.0  # µs slack
+            )
+
+    def test_process_metadata_present(self, tmp_path):
+        path = tmp_path / "trace.json"
+        _run_workload(path)
+        events = trace_events_of(str(path))
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta and meta[0]["name"] == "process_name"
+        assert meta[0]["args"]["name"] == "repro"
+
+    def test_final_counters_ride_as_instant_event(self, tmp_path):
+        path = tmp_path / "trace.json"
+        _run_workload(path)
+        events = trace_events_of(str(path))
+        instants = [e for e in events if e["ph"] == "I"]
+        assert len(instants) == 1
+        assert instants[0]["args"]["chase.rounds"] == 2
+
+    def test_span_attributes_land_in_args(self, tmp_path):
+        path = tmp_path / "trace.json"
+        _run_workload(path)
+        events = trace_events_of(str(path))
+        chase_event = next(
+            e for e in events if e["ph"] == "X" and e["name"] == "chase"
+        )
+        assert chase_event["args"]["variant"] == "restricted"
+
+    def test_error_spans_are_marked(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(str(path))
+        TELEMETRY.enable(sink)
+        with pytest.raises(RuntimeError):
+            with span("work"):
+                raise RuntimeError("boom")
+        TELEMETRY.disable()
+        events = trace_events_of(str(path))
+        work = next(e for e in events if e.get("name") == "work")
+        assert work["args"]["status"] == "error"
+        assert "boom" in work["args"]["error"]
+
+
+class TestClose:
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = _run_workload(path)
+        before = path.read_text(encoding="utf-8")
+        sink.close()
+        sink.close()
+        assert path.read_text(encoding="utf-8") == before
+
+    def test_events_survive_a_crash_flush(self, tmp_path):
+        # The CLI disables telemetry in a finally block; disable closes
+        # sinks, so spans closed before the crash reach the file.
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(str(path))
+        TELEMETRY.enable(sink)
+        with pytest.raises(ValueError):
+            with span("outer"):
+                with span("inner"):
+                    pass
+                raise ValueError("engine blew up")
+        TELEMETRY.disable()
+        events = trace_events_of(str(path))
+        assert {e["name"] for e in events if e["ph"] == "X"} == {
+            "outer",
+            "inner",
+        }
+
+
+class TestLoader:
+    def test_loader_rejects_non_trace_json(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"something": "else"}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            trace_events_of(str(path))
+
+    def test_loader_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(json.JSONDecodeError):
+            trace_events_of(str(path))
