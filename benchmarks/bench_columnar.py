@@ -1,0 +1,111 @@
+"""Columnar backend bench — the DESIGN.md §11 ablation made explicit.
+
+The march workload (``repro.perf.families``) is the dense re-scan shape
+the columnar store exists for: a naive-strategy chase re-enumerates
+large 3-ary buckets under a positional equality check every round, so
+the object executor walks and re-sorts rows the columnar executor
+answers with interned-ID columns and a vectorized mask.
+
+Two parts:
+
+* per-backend timings of the same pinned workload (the trajectory
+  numbers behind ``BENCH_chase-columnar.json``);
+* the headline ablation — columnar must beat object by >= 2x on this
+  workload, gated on a machine big enough (and NumPy present) for the
+  ratio to be meaningful.
+"""
+
+import os
+import time
+
+import pytest
+
+from conftest import record
+
+from repro import chase, parse_tgds
+from repro.columnar import execute as columnar_execute
+from repro.perf import march_instance, run_march
+from repro.perf.families import MARCH_RULES, _MARCH_SCHEMA, clear_engine_caches
+
+
+@pytest.mark.parametrize("backend", ["object", "columnar"])
+def test_march_backend(benchmark, backend):
+    clear_engine_caches()
+    benchmark(lambda: run_march(backend))
+    record(
+        f"march chase backend={backend}",
+        "fixpoint",
+        "reached",
+    )
+
+
+# The ablation marches a bigger ring than the CI-sized trajectory
+# family: object-backend cost grows superlinearly in the bucket size
+# (every epoch re-sorts every touched bucket), so the ratio widens with
+# scale — ~5x here vs ~2x at the family's pinned sizes in development
+# measurements.
+ABLATION_NODES = 48
+ABLATION_BUCKET = 192
+
+
+def _best_of(runner, repeats: int = 3) -> float:
+    best = float("inf")
+    for __ in range(repeats):
+        clear_engine_caches()
+        started = time.perf_counter()
+        runner()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _timed_march_chase(backend: str) -> float:
+    """Best-of-N wall time of the chase alone: the instance (identical
+    data on both backends) is built outside the timed region, and the
+    columnar kernel is warmed the way ``run_march`` warms it — the
+    chase state clones it rather than re-interning every fact."""
+    deps = parse_tgds(MARCH_RULES, _MARCH_SCHEMA)
+    db = march_instance(
+        nodes=ABLATION_NODES, bucket=ABLATION_BUCKET, backend=backend
+    )
+    if backend == "columnar":
+        db.columnar_kernel()
+
+    def once() -> None:
+        result = chase(
+            db,
+            deps,
+            strategy="naive",
+            backend=backend,
+            max_rounds=2 * ABLATION_NODES,
+        )
+        assert result.successful and result.rounds == ABLATION_NODES
+
+    return _best_of(once)
+
+
+def test_columnar_speedup_ablation():
+    """Columnar >= 2x faster than object on the dense march chase.
+
+    The margin at the ablation sizes is ~4.5x in development
+    measurements, so the 2x gate has headroom against scheduler noise —
+    but only on hardware with spare cores and with the NumPy mask path
+    available; elsewhere the ablation is informational and skipped.
+    """
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("speedup gate needs >= 4 cpus (timing too noisy)")
+    if columnar_execute._np is None:
+        pytest.skip("speedup gate needs the NumPy mask fast path")
+    object_best = _timed_march_chase("object")
+    columnar_best = _timed_march_chase("columnar")
+    speedup = object_best / columnar_best
+    record(
+        "march ablation object/columnar",
+        ">=2x",
+        f"{speedup:.2f}x ({object_best * 1e3:.1f}ms / "
+        f"{columnar_best * 1e3:.1f}ms)",
+    )
+    assert speedup >= 2.0, (
+        f"columnar backend only {speedup:.2f}x faster "
+        f"(object {object_best * 1e3:.1f}ms, "
+        f"columnar {columnar_best * 1e3:.1f}ms)"
+    )

@@ -48,13 +48,14 @@ from ..dependencies.egd import EGD
 from ..dependencies.tgd import TGD
 from ..homomorphisms.plans import DEFAULT_PLAN, PLAN_MODES
 from ..homomorphisms.search import all_extensions_of, find_extension, satisfies_atoms
-from ..instances.instance import Instance
+from ..instances.instance import BACKENDS, DEFAULT_BACKEND, Instance
 from ..lang.atoms import Atom
 from ..lang.schema import Relation, Schema
 from ..lang.terms import Const, FreshNulls, Null, Var, element_sort_key
 from ..telemetry import TELEMETRY, MetricsProbe, span
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..columnar.state import ColumnarState
     from ..telemetry.report import RunReport
 
 __all__ = [
@@ -302,7 +303,7 @@ def _unify_atom(atom: Atom, tup: tuple[object, ...]) -> dict[Var, object] | None
 
 
 def _enumerate_triggers(
-    state: _State,
+    state: _State | ColumnarState,
     dep: TGD,
     cursor: _DeltaCursor,
     strategy: str,
@@ -363,7 +364,7 @@ def _combined_schema(instance: Instance, deps: Sequence[Dependency]) -> Schema:
 
 
 def _fire_tgd(
-    state: _State,
+    state: _State | ColumnarState,
     tgd: TGD,
     trigger: dict[Var, object],
     nulls: FreshNulls,
@@ -383,7 +384,7 @@ def _fire_tgd(
 
 
 def _chase_egd(
-    state: _State, egd: EGD, plan: str | None
+    state: _State | ColumnarState, egd: EGD, plan: str | None
 ) -> tuple[bool, bool]:
     """Apply one round of egd repairs; returns (changed, failed)."""
     if egd.is_trivial:
@@ -425,6 +426,7 @@ def chase(
     max_facts: int | None = None,
     certificate: str = "off",
     plan: str | None = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> ChaseResult:
     """Chase ``instance`` with tgds and egds.
 
@@ -453,8 +455,17 @@ def chase(
     activity checks: ``"compiled"`` (memoized join plans with
     forward-checking — the default), ``"interpreted"`` (the reference
     dynamic-order interpreter), or ``None`` to defer to
-    :data:`repro.homomorphisms.plans.DEFAULT_PLAN`.  Both backends
+    :data:`repro.homomorphisms.plans.DEFAULT_PLAN`.  Both modes
     produce bit-identical chase results.
+
+    ``backend`` selects the fact-storage representation of the working
+    state: ``"object"`` (frozen tuples over element objects — the
+    reference) or ``"columnar"`` (interned integer IDs in per-position
+    columns, executed at ID level by :mod:`repro.columnar`).  Like the
+    strategy and plan pairs, the two backends are bit-identical in
+    every observable — facts, null numbering, trigger order and the
+    shared telemetry counters — which the differential grid in
+    ``tests/test_differential_chase.py`` asserts.
     """
     deps = sorted(dependencies, key=str)
     if variant not in ("restricted", "oblivious"):
@@ -465,6 +476,8 @@ def chase(
         raise ChaseError(f"unknown certificate mode {certificate!r}")
     if plan is not None and plan not in PLAN_MODES:
         raise ChaseError(f"unknown join plan mode {plan!r}")
+    if backend not in BACKENDS:
+        raise ChaseError(f"unknown chase backend {backend!r}")
     if certificate == "auto" and max_rounds is not None:
         from ..analysis.certificates import guarantees_termination
 
@@ -482,13 +495,22 @@ def chase(
         "variant": variant,
         "strategy": strategy,
         "plan": plan if plan is not None else DEFAULT_PLAN,
+        "backend": backend,
         "certificate": certificate,
         "max_rounds": max_rounds,
         "max_facts": max_facts,
         "dependencies": len(deps),
     }
     schema = _combined_schema(instance, deps)
-    state = _State(instance, schema)
+    state: _State | ColumnarState
+    if backend == "columnar":
+        # Imported lazily: repro.columnar itself imports chase-adjacent
+        # modules, so the package only loads when the backend is used.
+        from ..columnar.state import ColumnarState as _ColumnarState
+
+        state = _ColumnarState(instance, schema)
+    else:
+        state = _State(instance, schema)
     cursors = [_DeltaCursor() for __ in deps]
     nulls = FreshNulls()
     fired = 0

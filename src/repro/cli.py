@@ -172,7 +172,8 @@ def _cmd_chase(args) -> int:
     deps = _load_dependencies(args.rules)
     db = _load_instance(args.data)
     result = chase(
-        db, deps, max_rounds=args.max_rounds, certificate=args.certificate
+        db, deps, max_rounds=args.max_rounds, certificate=args.certificate,
+        backend=args.backend,
     )
     status = "failed (constraint violation)" if result.failed else (
         "terminated" if result.terminated else "budget exhausted"
@@ -186,7 +187,9 @@ def _cmd_chase(args) -> int:
 def _cmd_entails(args) -> int:
     deps = _load_dependencies(args.rules)
     conclusion = parse_dependency(args.rule)
-    verdict = entails(deps, conclusion, max_rounds=args.max_rounds)
+    verdict = entails(
+        deps, conclusion, max_rounds=args.max_rounds, backend=args.backend
+    )
     print(f"Σ ⊨ {conclusion}: {verdict}")
     return 0 if verdict.is_definite else 2
 
@@ -304,10 +307,10 @@ def _cmd_lint(args) -> int:
 
 def _cmd_bench(args) -> int:
     from .perf import (
-        BenchResult,
+        MissingBaselineError,
         apply_injection,
-        bench_filename,
         compare_results,
+        load_baseline,
         parse_injection,
         render_regressions,
         resolve_families,
@@ -341,16 +344,19 @@ def _cmd_bench(args) -> int:
     if args.compare is None:
         return 0
     regressions = []
-    skipped = []
+    missing = []
     for result in results:
-        baseline_path = Path(args.compare) / bench_filename(result.family)
-        if not baseline_path.exists():
-            skipped.append(result.family)
-            continue
         try:
-            baseline = BenchResult.load(baseline_path)
+            baseline = load_baseline(args.compare, result.family)
+        except MissingBaselineError as exc:
+            # A family with no committed baseline is a hard comparison
+            # failure, not a silent skip: a new family that never gets
+            # baselined would otherwise never gate anything.
+            print(f"bench: {exc}", file=sys.stderr)
+            missing.append(result.family)
+            continue
         except (OSError, ValueError) as exc:
-            print(f"bench: {baseline_path}: {exc}", file=sys.stderr)
+            print(f"bench: {args.compare}: {exc}", file=sys.stderr)
             return 1
         regressions.extend(
             compare_results(
@@ -360,12 +366,13 @@ def _cmd_bench(args) -> int:
                 counter_threshold=args.threshold,
             )
         )
-    if skipped:
+    print(render_regressions(regressions))
+    if missing:
         print(
-            "bench: no baseline for: " + ", ".join(skipped),
+            "bench: missing baseline(s) for: " + ", ".join(missing),
             file=sys.stderr,
         )
-    print(render_regressions(regressions))
+        return 1
     return 1 if regressions else 0
 
 
@@ -426,12 +433,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="'auto' drops --max-rounds when a termination certificate "
              "(weak/joint/super-weak acyclicity) guarantees a fixpoint",
     )
+    p.add_argument(
+        "--backend", choices=("object", "columnar"), default="object",
+        help="fact-storage backend: 'columnar' runs joins over interned "
+             "integer columns; results are bit-identical to 'object'",
+    )
     p.set_defaults(func=_cmd_chase)
 
     p = sub.add_parser("entails", parents=[common], help="decide Σ ⊨ σ")
     p.add_argument("rules")
     p.add_argument("rule")
     p.add_argument("--max-rounds", type=int, default=None)
+    p.add_argument(
+        "--backend", choices=("object", "columnar"), default=None,
+        help="fact-storage backend for the freeze-and-chase "
+             "(default: the chase's own default; verdicts are "
+             "backend-invariant)",
+    )
     p.set_defaults(func=_cmd_entails)
 
     p = sub.add_parser("rewrite", parents=[common], help="Algorithms 1 / 2")

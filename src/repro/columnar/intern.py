@@ -1,0 +1,165 @@
+"""Dense integer interning of domain elements.
+
+An :class:`InternTable` assigns each distinct domain element (a
+:class:`~repro.lang.terms.Const`, a :class:`~repro.lang.terms.Null`, or
+a tuple of those for the structured elements produced by Appendix F
+reductions) a *value ID*: a dense integer, allocated in insertion
+order.  The canonical :func:`~repro.lang.terms.element_sort_key` of
+every element is computed once at intern time and cached, so the
+columnar store can sort row IDs by key without touching the elements
+again.
+
+Because ``element_sort_key`` values are absolute (they do not depend on
+which other elements exist), cached keys never need invalidation: a
+growing table only ever appends.
+
+The :meth:`InternTable.digest` is *renaming-invariant*: it hashes the
+insertion-ordered sequence of element kinds (constant / null /
+structure) but not their names, mirroring the renaming-invariant keys
+used by the join-plan cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Iterator
+
+from ..lang.terms import Const, Null
+from ..lang.terms import element_sort_key as _element_sort_key
+from ..telemetry import TELEMETRY
+
+__all__ = ["InternTable"]
+
+
+def _kind_code(element: object) -> bytes:
+    """The renaming-invariant shape byte-string of one element."""
+    if isinstance(element, Const):
+        return b"c"
+    if isinstance(element, Null):
+        return b"n"
+    if isinstance(element, tuple):
+        return b"(" + b"".join(_kind_code(part) for part in element) + b")"
+    return b"?"
+
+
+class InternTable:
+    """Bijection between domain elements and dense integer value IDs.
+
+    IDs are allocated densely in insertion order: interning the same
+    element sequence always yields the same IDs, which is what makes a
+    columnar store rebuilt from a canonically-sorted fact stream
+    deterministic.
+    """
+
+    __slots__ = ("_ids", "_elements", "_keys", "_digest")
+
+    def __init__(self, elements: Iterable[object] = ()) -> None:
+        self._ids: dict[object, int] = {}
+        self._elements: list[object] = []
+        self._keys: list[tuple[object, ...]] = []
+        self._digest: str | None = None
+        for element in elements:
+            self.intern(element)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, element: object) -> bool:
+        return element in self._ids
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._elements)
+
+    def intern(self, element: object) -> int:
+        """Return the ID for ``element``, allocating the next dense ID
+        on first sight.  Repeat interning counts ``columnar.intern_hits``.
+        """
+        vid = self._ids.get(element)
+        if vid is not None:
+            if TELEMETRY.enabled:
+                TELEMETRY.count("columnar.intern_hits")
+            return vid
+        vid = len(self._elements)
+        self._ids[element] = vid
+        self._elements.append(element)
+        self._keys.append(_element_sort_key(element))
+        self._digest = None
+        return vid
+
+    def lookup(self, element: object) -> int | None:
+        """The ID of ``element`` if already interned, else ``None``
+        (never allocates)."""
+        return self._ids.get(element)
+
+    def resolve(self, vid: int) -> object:
+        """The element behind a value ID."""
+        return self._elements[vid]
+
+    def sort_key(self, vid: int) -> tuple[object, ...]:
+        """The cached canonical sort key of the element behind ``vid``."""
+        return self._keys[vid]
+
+    @property
+    def sort_keys(self) -> list[tuple[object, ...]]:
+        """Live ID-indexed list of cached sort keys (do not mutate)."""
+        return self._keys
+
+    @property
+    def elements(self) -> list[object]:
+        """Live ID-indexed list of interned elements (do not mutate)."""
+        return self._elements
+
+    @property
+    def ids(self) -> dict[object, int]:
+        """Live element → ID mapping (do not mutate).  Exposed so hot
+        probe loops can bypass the :meth:`lookup` call overhead."""
+        return self._ids
+
+    def clone(self) -> InternTable:
+        """An independent copy sharing no mutable structure.
+
+        IDs, elements and cached sort keys carry over verbatim (three
+        C-level shallow copies), so anything translated against this
+        table — cached plan translations, stored columns — stays valid
+        against the clone."""
+        other = InternTable.__new__(InternTable)
+        other._ids = self._ids.copy()
+        other._elements = self._elements.copy()
+        other._keys = self._keys.copy()
+        other._digest = self._digest
+        return other
+
+    def digest(self) -> str:
+        """Renaming-invariant fingerprint of the interned population.
+
+        Two tables whose insertion-ordered elements differ only by a
+        bijective renaming of constants (or of nulls) share a digest;
+        changing an element's *kind* or the insertion order changes it.
+        """
+        if self._digest is None:
+            hasher = hashlib.sha256()
+            for element in self._elements:
+                hasher.update(_kind_code(element))
+                hasher.update(b";")
+            self._digest = hasher.hexdigest()
+        return self._digest
+
+    # Pickling ships only the insertion-ordered elements; the reverse
+    # map and key cache are rebuilt on load.  This keeps worker pickles
+    # (repro.search fan-out) small.
+    def __getstate__(self) -> list[object]:
+        return self._elements
+
+    def __setstate__(self, state: list[object]) -> None:
+        self._ids = {}
+        self._elements = []
+        self._keys = []
+        self._digest = None
+        for element in state:
+            vid = len(self._elements)
+            self._ids[element] = vid
+            self._elements.append(element)
+            self._keys.append(_element_sort_key(element))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InternTable({len(self._elements)} elements)"

@@ -1,0 +1,139 @@
+"""Mutable chase working state backed by a :class:`ColumnarStore`.
+
+:class:`ColumnarState` is the ``backend="columnar"`` drop-in for the
+chase engine's object-level ``_State``: the same attributes
+(``schema`` / ``domain`` / ``relations`` / ``generation`` / ``epoch``
+/ ``log``), the same probe interface (``tuples`` / ``tuples_with`` and
+the sorted views), the same mutation protocol (``add`` / ``merge``).
+The engine never branches on the backend — it just constructs a
+different state class.
+
+The object-level fact sets are kept alongside the store: ``tuples``
+returns the same ``set`` objects the reference backend would, so the
+interpreted matcher and the engine's bookkeeping behave identically,
+while the compiled matcher discovers the store through
+:meth:`columnar_kernel` and runs at ID level.  Facts are dual-written
+(a set add plus an O(arity) column append); egd merges rebuild the
+store from scratch — exactly when the reference backend rebuilds its
+index — re-interning the surviving elements in canonical order so
+value IDs stay deterministic.
+"""
+
+from __future__ import annotations
+
+from ..instances.instance import Instance
+from ..lang.schema import Relation, Schema
+from ..lang.terms import element_sort_key
+from .store import ColumnarStore
+
+__all__ = ["ColumnarState"]
+
+
+class ColumnarState:
+    """Chase working state whose probe hot path is a columnar store."""
+
+    def __init__(self, instance: Instance, schema: Schema) -> None:
+        self.schema = schema
+        self.domain: set[object] = set(instance.domain)
+        self.relations: dict[Relation, set[tuple[object, ...]]] = {
+            rel: set(
+                instance.tuples(rel.name)
+                if rel.name in instance.schema
+                else ()
+            )
+            for rel in schema
+        }
+        self.generation = 0
+        self.epoch = 0
+        self.log: list[tuple[Relation, tuple[object, ...]]] = []
+        self.store: ColumnarStore = ColumnarStore(())
+        kernel = instance.columnar_kernel()
+        if kernel is not None:
+            # The instance already carries an interned kernel: bootstrap
+            # by C-level clone (extended to the combined schema) instead
+            # of re-interning every fact.  Value IDs and row order then
+            # follow the kernel's build order rather than the combined
+            # schema's — an unobservable difference, since every output
+            # and counter depends only on element identity, bucket sizes
+            # and the absolute sort keys.
+            self.store = kernel.clone(self.relations)
+            for rel, tuples in self.relations.items():
+                for tup in sorted(tuples, key=element_sort_key):
+                    self.log.append((rel, tup))
+        else:
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Re-intern and re-append everything from the relation sets.
+
+        Facts enter the store per relation in canonical element order
+        (and relations in schema order), so the dense value IDs — and
+        with them every sorted row view — are a pure function of the
+        fact sets, independent of set-iteration order.
+        """
+        store = ColumnarStore(self.relations)
+        log: list[tuple[Relation, tuple[object, ...]]] = []
+        for rel, tuples in self.relations.items():
+            for tup in sorted(tuples, key=element_sort_key):
+                store.append(rel, tup)
+                log.append((rel, tup))
+        self.store = store
+        self.log = log
+
+    def columnar_kernel(self) -> ColumnarStore:
+        """The live store — the hook the compiled search dispatches on."""
+        return self.store
+
+    # -- Instance-compatible probe interface ---------------------------
+
+    def tuples(self, relation: Relation) -> set[tuple[object, ...]]:
+        return self.relations[relation]
+
+    def tuples_with(
+        self, relation: Relation, position: int, element: object
+    ) -> tuple[tuple[object, ...], ...]:
+        return self.store.tuples_with(relation, position, element)
+
+    def sorted_tuples(
+        self, relation: Relation
+    ) -> tuple[tuple[object, ...], ...]:
+        return self.store.sorted_tuples(relation)
+
+    def sorted_tuples_with(
+        self, relation: Relation, position: int, element: object
+    ) -> tuple[tuple[object, ...], ...]:
+        return self.store.sorted_tuples_with(relation, position, element)
+
+    # -- mutation ------------------------------------------------------
+
+    def snapshot(self) -> Instance:
+        return Instance(
+            self.schema, self.domain, self.relations, backend="columnar"
+        )
+
+    def fact_count(self) -> int:
+        return sum(len(tuples) for tuples in self.relations.values())
+
+    def add(self, relation: Relation, tup: tuple[object, ...]) -> bool:
+        self.domain.update(tup)
+        tuples = self.relations[relation]
+        if tup in tuples:
+            return False
+        tuples.add(tup)
+        self.epoch += 1
+        self.store.append(relation, tup)
+        self.log.append((relation, tup))
+        return True
+
+    def merge(self, keep: object, drop: object) -> None:
+        """Replace ``drop`` by ``keep`` everywhere."""
+        self.domain.discard(drop)
+        self.domain.add(keep)
+        for rel, tuples in self.relations.items():
+            self.relations[rel] = {
+                tuple(keep if elem == drop else elem for elem in tup)
+                for tup in tuples
+            }
+        self.generation += 1
+        self.epoch += 1
+        self._rebuild()

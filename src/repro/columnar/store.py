@@ -1,0 +1,483 @@
+"""Column-oriented fact storage over interned value IDs.
+
+A :class:`ColumnarStore` holds each relation as ``arity`` flat
+``array('q')`` columns (one per argument position) plus, per position,
+a hash index from value ID to the list of row IDs carrying that value.
+Appending a fact is O(arity); membership is one dict probe on the
+row-key map; a join probe is one dict probe returning a row-ID bucket.
+
+Sorted views (the canonical :func:`~repro.lang.terms.element_sort_key`
+order that every engine streams in) are maintained *incrementally*:
+because sort keys are absolute, a grown bucket only needs the new row
+IDs inserted via :func:`bisect.insort` — existing prefixes never
+re-sort.  Views are handed out as immutable tuples so paused
+generators never observe mutation.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import insort
+from typing import Iterable, Iterator, Sequence, cast
+
+from ..homomorphisms.plans import _CHECK_CONST, JoinPlan
+from ..lang.schema import Relation
+from .intern import InternTable
+
+__all__ = ["ColumnarStore"]
+
+_EMPTY_ROWS: tuple[int, ...] = ()
+
+# A plan translated to ID level: prelude probes as
+# ``(relation, position, payload, is_slot)`` (payload already a value
+# ID when ``is_slot`` is false), then per-step probe and check lists
+# with every constant payload resolved to its value ID.
+_TranslatedPlan = tuple[
+    tuple[tuple[Relation, int, int, bool], ...],
+    tuple[tuple[tuple[int, bool, int], ...], ...],
+    tuple[tuple[tuple[int, int, int], ...], ...],
+]
+
+
+class _SortedRows:
+    """Incrementally maintained sorted view over a growing row set."""
+
+    __slots__ = ("seen", "rows", "view")
+
+    def __init__(self) -> None:
+        self.seen = 0
+        self.rows: list[int] = []
+        self.view: tuple[int, ...] = ()
+
+    def clone(self) -> _SortedRows:
+        other = _SortedRows()
+        other.seen = self.seen
+        other.rows = self.rows.copy()
+        other.view = self.view
+        return other
+
+
+class ColumnarStore:
+    """Interned, column-oriented storage for a fixed relation set."""
+
+    __slots__ = (
+        "table",
+        "_relations",
+        "_columns",
+        "_nrows",
+        "_buckets",
+        "_rows",
+        "_row_keys",
+        "_decoded",
+        "_sorted_buckets",
+        "_sorted_extents",
+        "_foreign",
+        "_plans",
+    )
+
+    def __init__(
+        self,
+        relations: Iterable[Relation],
+        table: InternTable | None = None,
+    ) -> None:
+        rels = tuple(relations)
+        self.table = table if table is not None else InternTable()
+        self._relations: tuple[Relation, ...] = rels
+        self._columns: dict[Relation, tuple[array[int], ...]] = {
+            rel: tuple(array("q") for _ in range(rel.arity)) for rel in rels
+        }
+        # Arity-0 relations (Appendix F reductions, the entailment
+        # tracking relation for variable-free bodies) have no columns,
+        # so row counts are tracked explicitly.
+        self._nrows: dict[Relation, int] = {rel: 0 for rel in rels}
+        self._buckets: dict[Relation, dict[tuple[int, int], list[int]]] = {
+            rel: {} for rel in rels
+        }
+        self._rows: dict[Relation, dict[tuple[int, ...], int]] = {
+            rel: {} for rel in rels
+        }
+        self._row_keys: dict[Relation, list[tuple[tuple[object, ...], ...]]] = {
+            rel: [] for rel in rels
+        }
+        self._decoded: dict[Relation, list[tuple[object, ...]]] = {
+            rel: [] for rel in rels
+        }
+        self._sorted_buckets: dict[Relation, dict[tuple[int, int], _SortedRows]] = {
+            rel: {} for rel in rels
+        }
+        self._sorted_extents: dict[Relation, _SortedRows] = {}
+        # Negative sentinel IDs for elements probed but never interned
+        # (query constants and partial seeds absent from every fact).
+        # They can match no stored row, but must stay mutually
+        # distinguishable and *stable across executions* so cached plan
+        # translations remain consistent with per-execution seeds.
+        self._foreign: dict[object, int] = {}
+        self._plans: dict[object, tuple[_TranslatedPlan, bool, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def relations(self) -> tuple[Relation, ...]:
+        return self._relations
+
+    def row_count(self, relation: Relation) -> int:
+        return self._nrows[relation]
+
+    def columns(self, relation: Relation) -> tuple[array[int], ...]:
+        """The live per-position ID columns of ``relation``."""
+        return self._columns[relation]
+
+    def intern(self, element: object) -> int:
+        return self.table.intern(element)
+
+    def lookup(self, element: object) -> int | None:
+        return self.table.lookup(element)
+
+    def resolve(self, vid: int) -> object:
+        return self.table.resolve(vid)
+
+    # ------------------------------------------------------------------
+    # Mutation
+
+    def append(self, relation: Relation, elements: Sequence[object]) -> int:
+        """Intern ``elements`` and append the fact; returns its row ID.
+
+        The caller is responsible for not appending duplicates (the
+        chase state dedups on its object-level fact sets first).
+        """
+        intern = self.table.intern
+        return self.append_ids(
+            relation, tuple(intern(element) for element in elements)
+        )
+
+    def append_ids(self, relation: Relation, vids: tuple[int, ...]) -> int:
+        row = self._nrows[relation]
+        buckets = self._buckets[relation]
+        for pos, (column, vid) in enumerate(zip(self._columns[relation], vids)):
+            column.append(vid)
+            bucket = buckets.get((pos, vid))
+            if bucket is None:
+                buckets[pos, vid] = [row]
+            else:
+                bucket.append(row)
+        self._rows[relation][vids] = row
+        self._nrows[relation] = row + 1
+        return row
+
+    def clone(self, relations: Iterable[Relation] | None = None) -> ColumnarStore:
+        """An independent mutable copy, optionally over a wider relation
+        set (missing relations start empty).
+
+        Everything copies at C level — the intern table, the flat
+        columns (``array`` buffer copies), the bucket row lists and the
+        warm sorted views — so bootstrapping a chase working state from
+        an instance's cached kernel costs milliseconds where a from-
+        scratch re-intern of the same facts costs a full pass over
+        them.  Cached plan translations and foreign sentinels carry
+        over: they only reference IDs, which are identical in the
+        clone."""
+        rels = self._relations if relations is None else tuple(relations)
+        other = ColumnarStore.__new__(ColumnarStore)
+        other.table = self.table.clone()
+        other._relations = rels
+        other._columns = {}
+        other._nrows = {}
+        other._buckets = {}
+        other._rows = {}
+        other._row_keys = {}
+        other._decoded = {}
+        other._sorted_buckets = {}
+        other._sorted_extents = {}
+        other._foreign = self._foreign.copy()
+        other._plans = self._plans.copy()
+        for rel in rels:
+            if rel in self._nrows:
+                other._columns[rel] = tuple(
+                    array("q", column) for column in self._columns[rel]
+                )
+                other._nrows[rel] = self._nrows[rel]
+                other._buckets[rel] = {
+                    key: rows.copy()
+                    for key, rows in self._buckets[rel].items()
+                }
+                other._rows[rel] = self._rows[rel].copy()
+                other._row_keys[rel] = self._row_keys[rel].copy()
+                other._decoded[rel] = self._decoded[rel].copy()
+                other._sorted_buckets[rel] = {
+                    key: entry.clone()
+                    for key, entry in self._sorted_buckets[rel].items()
+                }
+                extent = self._sorted_extents.get(rel)
+                if extent is not None:
+                    other._sorted_extents[rel] = extent.clone()
+            else:
+                other._columns[rel] = tuple(
+                    array("q") for _ in range(rel.arity)
+                )
+                other._nrows[rel] = 0
+                other._buckets[rel] = {}
+                other._rows[rel] = {}
+                other._row_keys[rel] = []
+                other._decoded[rel] = []
+                other._sorted_buckets[rel] = {}
+        return other
+
+    # ------------------------------------------------------------------
+    # Membership and probes (ID level)
+
+    def has_ids(self, relation: Relation, vids: tuple[int, ...]) -> bool:
+        return vids in self._rows[relation]
+
+    def has(self, relation: Relation, elements: Sequence[object]) -> bool:
+        ids = self.table.ids
+        try:
+            vids = tuple(ids[element] for element in elements)
+        except KeyError:
+            # An element no stored fact contains: trivially absent.
+            return False
+        return vids in self._rows[relation]
+
+    def bucket(self, relation: Relation, position: int, vid: int) -> Sequence[int]:
+        """Row IDs whose ``position``-th value is ``vid`` (append order)."""
+        bucket = self._buckets[relation].get((position, vid))
+        return bucket if bucket is not None else _EMPTY_ROWS
+
+    def vid_of(self, element: object) -> int:
+        """The element's value ID, or a stable negative sentinel.
+
+        Interned elements resolve to their dense ID; everything else is
+        assigned (once, store-wide) a negative ID that can never equal a
+        column value.  Stability across calls keeps cached plan
+        translations and per-execution seeds mutually consistent: the
+        same un-interned constant always compares equal to itself and
+        unequal to everything stored."""
+        vid = self.table.ids.get(element)
+        if vid is None:
+            foreign = self._foreign
+            vid = foreign.get(element)
+            if vid is None:
+                vid = -1 - len(foreign)
+                foreign[element] = vid
+        return vid
+
+    # ------------------------------------------------------------------
+    # Plan translation (memoized)
+
+    def translated_plan(self, plan: JoinPlan) -> _TranslatedPlan:
+        """The plan with every constant payload resolved to a value ID.
+
+        Memoized per ``plan.key`` (constants participate in plan
+        signatures, so one key always denotes one payload pattern).  An
+        entry translated while some constant was still un-interned holds
+        a sentinel ID; it is re-translated once the intern table has
+        grown, in case that constant has since entered the store."""
+        entry = self._plans.get(plan.key)
+        if entry is not None:
+            translated, resolved, seen = entry
+            if resolved or seen == len(self.table):
+                return translated
+        vid_of = self.vid_of
+        resolved = True
+        prelude: list[tuple[Relation, int, int, bool]] = []
+        for relation, pos, is_slot, payload in plan.prelude:
+            if is_slot:
+                prelude.append((relation, pos, cast(int, payload), True))
+            else:
+                vid = vid_of(payload)
+                resolved = resolved and vid >= 0
+                prelude.append((relation, pos, vid, False))
+        probes: list[tuple[tuple[int, bool, int], ...]] = []
+        checks: list[tuple[tuple[int, int, int], ...]] = []
+        for step in plan.steps:
+            step_probes: list[tuple[int, bool, int]] = []
+            for pos, is_slot, payload in step.probes:
+                if is_slot:
+                    step_probes.append((pos, True, cast(int, payload)))
+                else:
+                    vid = vid_of(payload)
+                    resolved = resolved and vid >= 0
+                    step_probes.append((pos, False, vid))
+            probes.append(tuple(step_probes))
+            step_checks: list[tuple[int, int, int]] = []
+            for pos, kind, payload in step.checks:
+                if kind == _CHECK_CONST:
+                    vid = vid_of(payload)
+                    resolved = resolved and vid >= 0
+                    step_checks.append((pos, kind, vid))
+                else:
+                    step_checks.append((pos, kind, cast(int, payload)))
+            checks.append(tuple(step_checks))
+        translated = (tuple(prelude), tuple(probes), tuple(checks))
+        self._plans[plan.key] = (translated, resolved, len(self.table))
+        return translated
+
+    # ------------------------------------------------------------------
+    # Canonically sorted views
+
+    def _ensure_row_keys(
+        self, relation: Relation
+    ) -> list[tuple[tuple[object, ...], ...]]:
+        keys = self._row_keys[relation]
+        total = self._nrows[relation]
+        if len(keys) < total:
+            columns = self._columns[relation]
+            element_keys = self.table.sort_keys
+            for row in range(len(keys), total):
+                keys.append(
+                    tuple(element_keys[column[row]] for column in columns)
+                )
+        return keys
+
+    def sorted_rows(self, relation: Relation) -> tuple[int, ...]:
+        """All row IDs of ``relation`` in canonical element order."""
+        total = self._nrows[relation]
+        entry = self._sorted_extents.get(relation)
+        if entry is None:
+            entry = _SortedRows()
+            self._sorted_extents[relation] = entry
+        if entry.seen != total:
+            keys = self._ensure_row_keys(relation)
+            rows = entry.rows
+            if not rows:
+                rows.extend(range(total))
+                rows.sort(key=keys.__getitem__)
+            else:
+                for row in range(entry.seen, total):
+                    insort(rows, row, key=keys.__getitem__)
+            entry.seen = total
+            entry.view = tuple(rows)
+        return entry.view
+
+    def sorted_bucket(
+        self, relation: Relation, position: int, vid: int
+    ) -> tuple[int, ...]:
+        """The ``(position, vid)`` bucket in canonical element order."""
+        bucket = self._buckets[relation].get((position, vid))
+        if not bucket:
+            return _EMPTY_ROWS
+        cache = self._sorted_buckets[relation]
+        entry = cache.get((position, vid))
+        if entry is None:
+            entry = _SortedRows()
+            cache[position, vid] = entry
+        if entry.seen != len(bucket):
+            keys = self._ensure_row_keys(relation)
+            rows = entry.rows
+            if not rows:
+                rows.extend(bucket)
+                rows.sort(key=keys.__getitem__)
+            else:
+                for row in bucket[entry.seen :]:
+                    insort(rows, row, key=keys.__getitem__)
+            entry.seen = len(bucket)
+            entry.view = tuple(rows)
+        return entry.view
+
+    # ------------------------------------------------------------------
+    # Decoding back to object tuples
+
+    def decoded_row(self, relation: Relation, row: int) -> tuple[object, ...]:
+        """The object-level fact tuple behind a row ID (cached)."""
+        decoded = self._decoded[relation]
+        if len(decoded) <= row:
+            columns = self._columns[relation]
+            elements = self.table.elements
+            for new_row in range(len(decoded), self._nrows[relation]):
+                decoded.append(
+                    tuple(elements[column[new_row]] for column in columns)
+                )
+        return decoded[row]
+
+    def tuples(self, relation: Relation) -> Iterator[tuple[object, ...]]:
+        """All facts of ``relation`` in append (row) order."""
+        for row in range(self._nrows[relation]):
+            yield self.decoded_row(relation, row)
+
+    def tuples_with(
+        self, relation: Relation, position: int, element: object
+    ) -> tuple[tuple[object, ...], ...]:
+        """Facts whose ``position``-th argument is ``element`` (append order)."""
+        vid = self.table.lookup(element)
+        if vid is None:
+            return ()
+        return tuple(
+            self.decoded_row(relation, row)
+            for row in self.bucket(relation, position, vid)
+        )
+
+    def sorted_tuples(self, relation: Relation) -> tuple[tuple[object, ...], ...]:
+        """All facts of ``relation`` in canonical element order."""
+        return tuple(
+            self.decoded_row(relation, row) for row in self.sorted_rows(relation)
+        )
+
+    def sorted_tuples_with(
+        self, relation: Relation, position: int, element: object
+    ) -> tuple[tuple[object, ...], ...]:
+        """The ``(position, element)`` bucket in canonical element order."""
+        vid = self.table.lookup(element)
+        if vid is None:
+            return ()
+        return tuple(
+            self.decoded_row(relation, row)
+            for row in self.sorted_bucket(relation, position, vid)
+        )
+
+    # ------------------------------------------------------------------
+    # Pickling: ship the element list, the raw columns and the row
+    # counts; all indexes and caches rebuild on load.  Search workers
+    # pickle instances per chunk, so this path stays lean.
+
+    def __getstate__(
+        self,
+    ) -> tuple[
+        tuple[Relation, ...],
+        list[object],
+        dict[Relation, tuple[array[int], ...]],
+        dict[Relation, int],
+    ]:
+        return (self._relations, self.table.elements, self._columns, self._nrows)
+
+    def __setstate__(
+        self,
+        state: tuple[
+            tuple[Relation, ...],
+            list[object],
+            dict[Relation, tuple[array[int], ...]],
+            dict[Relation, int],
+        ],
+    ) -> None:
+        relations, elements, columns, nrows = state
+        self.table = InternTable(elements)
+        self._relations = relations
+        self._columns = columns
+        self._nrows = nrows
+        self._buckets = {rel: {} for rel in relations}
+        self._rows = {rel: {} for rel in relations}
+        self._row_keys = {rel: [] for rel in relations}
+        self._decoded = {rel: [] for rel in relations}
+        self._sorted_buckets = {rel: {} for rel in relations}
+        self._sorted_extents = {}
+        self._foreign = {}
+        self._plans = {}
+        for rel in relations:
+            rel_columns = columns[rel]
+            buckets = self._buckets[rel]
+            rows = self._rows[rel]
+            for row in range(nrows[rel]):
+                vids = tuple(column[row] for column in rel_columns)
+                for pos, vid in enumerate(vids):
+                    bucket = buckets.get((pos, vid))
+                    if bucket is None:
+                        buckets[pos, vid] = [row]
+                    else:
+                        bucket.append(row)
+                rows[vids] = row
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        total = sum(self._nrows.values())
+        return (
+            f"ColumnarStore({len(self._relations)} relations, "
+            f"{total} rows, {len(self.table)} elements)"
+        )

@@ -124,8 +124,14 @@ def entails(
     *,
     max_rounds: int | None = None,
     cache: bool = True,
+    backend: str | None = None,
 ) -> TriBool:
     """``Σ ⊨ σ`` for a tgd, egd, or edd conclusion.
+
+    ``backend`` selects the chase's fact-storage representation
+    (``None`` → the chase default).  Verdicts are backend-invariant —
+    the columnar backend is bit-identical to the object reference — so
+    the memo below is deliberately shared across backends.
 
     With ``max_rounds=None``: weakly acyclic sets are chased to a
     fixpoint (definitive answers); otherwise a default budget applies and
@@ -167,7 +173,12 @@ def entails(
             # Certificate-gated: a memoized termination certificate
             # (weak/joint/super-weak acyclicity) chases to a fixpoint.
             budget = default_budget(deps, DEFAULT_CHASE_ROUNDS)
-        result = chase(database, deps, max_rounds=budget)
+        if backend is None:
+            result = chase(database, deps, max_rounds=budget)
+        else:
+            result = chase(
+                database, deps, max_rounds=budget, backend=backend
+            )
         if result.failed:
             verdict = TriBool.TRUE
         else:

@@ -33,22 +33,39 @@ bound positions; ``hom.index_probes`` counts one per bucket consulted.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Sequence
+from typing import Collection, Iterator, Mapping, Protocol, Sequence
 
-from ..instances.instance import Instance
+from ..instances.instance import BACKENDS, Instance
 from ..lang.atoms import Atom
+from ..lang.schema import Relation
 from ..lang.terms import Const, Var, element_sort_key
 from ..telemetry import TELEMETRY
 from . import plans as _plans
 from .plans import PLAN_CACHE, PLAN_MODES, _signature_parts, execute_plan
 
 __all__ = [
+    "ProbeTarget",
     "find_extension",
     "all_extensions_of",
     "find_homomorphism",
     "all_homomorphisms",
     "satisfies_atoms",
 ]
+
+
+class ProbeTarget(Protocol):
+    """Anything exposing the positional-probe interface the search
+    matches against: immutable :class:`Instance`\\ s, the chase's
+    mutable working states (object or columnar), or any structurally
+    compatible stand-in."""
+
+    def tuples(
+        self, relation: Relation
+    ) -> Collection[tuple[object, ...]]: ...
+
+    def tuples_with(
+        self, relation: Relation, position: int, element: object
+    ) -> Collection[tuple[object, ...]]: ...
 
 
 def _resolve_plan(plan: str | None, dynamic_order: bool) -> str:
@@ -63,9 +80,29 @@ def _resolve_plan(plan: str | None, dynamic_order: bool) -> str:
     return mode
 
 
+def _resolve_backend(target: ProbeTarget, backend: str | None) -> ProbeTarget:
+    """Switch ``target`` to the requested storage backend.
+
+    ``None`` keeps the target as-is (whatever backend it already
+    carries).  Targets without a backend knob — the chase's working
+    states already committed to one representation — are returned
+    unchanged."""
+    if backend is None:
+        return target
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    switch = getattr(target, "with_backend", None)
+    if switch is None:
+        return target
+    switched: ProbeTarget = switch(backend)
+    return switched
+
+
 def _candidates(
     atom: Atom,
-    target: Instance,
+    target: ProbeTarget,
     assignment: Mapping[Var, object],
 ) -> list[tuple[object, ...]]:
     """Target tuples compatible with the atom under the assignment.
@@ -152,7 +189,7 @@ def _boundness(atom: Atom, assignment: Mapping[Var, object]) -> int:
 
 def _search(
     atoms: Sequence[Atom],
-    target: Instance,
+    target: ProbeTarget,
     assignment: dict[Var, object],
     injective: bool,
     dynamic_order: bool,
@@ -221,11 +258,20 @@ def _search(
 
 def _iterate_compiled(
     atoms: Sequence[Atom],
-    target: Instance,
+    target: ProbeTarget,
     assignment: dict[Var, object],
     injective: bool,
 ) -> Iterator[dict[Var, object]]:
-    """Compile (or fetch) the conjunction's plan and execute it."""
+    """Compile (or fetch) the conjunction's plan and execute it.
+
+    Targets carrying an interned columnar sidecar (the
+    ``backend="columnar"`` representation) execute the plan at
+    integer-ID level via :mod:`repro.columnar.execute`; the stream and
+    the counters are bit-identical either way.  The fully-bound fast
+    path below is backend-neutral — a handful of set membership tests
+    against the same per-relation sets both backends expose — so it is
+    shared rather than duplicated per backend.
+    """
     # Fully-bound fast path: the chase's restricted-activity checks ask
     # "does this ground head hold?" once per trigger — a handful of set
     # membership tests that must not pay for signatures or plan lookups.
@@ -265,6 +311,17 @@ def _iterate_compiled(
         return
     key, slot_vars, slot_index = _signature_parts(atoms, assignment, sizes)
     plan = PLAN_CACHE.get(key)
+    kernel_of = getattr(target, "columnar_kernel", None)
+    if kernel_of is not None:
+        kernel = kernel_of()
+        if kernel is not None:
+            # Imported lazily: repro.columnar imports this module.
+            from ..columnar.execute import execute_plan_columnar
+
+            yield from execute_plan_columnar(
+                plan, slot_vars, kernel, assignment, injective, slot_index
+            )
+            return
     yield from execute_plan(
         plan, slot_vars, target, assignment, injective, slot_index
     )
@@ -272,12 +329,13 @@ def _iterate_compiled(
 
 def all_extensions_of(
     atoms: Sequence[Atom],
-    target: Instance,
+    target: ProbeTarget,
     partial: Mapping[Var, object] | None = None,
     *,
     injective: bool = False,
     dynamic_order: bool = True,
     plan: str | None = None,
+    backend: str | None = None,
 ) -> Iterator[dict[Var, object]]:
     """All extensions of ``partial`` mapping every atom to a fact of
     ``target``.  Yields complete assignments (including ``partial``).
@@ -285,8 +343,11 @@ def all_extensions_of(
     ``plan`` selects the execution path (``None`` →
     :data:`repro.homomorphisms.plans.DEFAULT_PLAN`); both paths yield
     byte-identical streams.  ``dynamic_order=False`` matches atoms in
-    textual order (the ablation baseline) on the interpreted path."""
+    textual order (the ablation baseline) on the interpreted path.
+    ``backend`` switches the target's storage representation first
+    (``None`` keeps whatever the target carries)."""
     mode = _resolve_plan(plan, dynamic_order)
+    target = _resolve_backend(target, backend)
     assignment = dict(partial or {})
     # Keep tuple inputs (frozen rule bodies) intact: the plan layer's
     # identity memo recognizes the same conjunction object across calls.
@@ -296,7 +357,7 @@ def all_extensions_of(
 
 def _dispatch(
     atoms: Sequence[Atom],
-    target: Instance,
+    target: ProbeTarget,
     assignment: dict[Var, object],
     injective: bool,
     dynamic_order: bool,
@@ -319,17 +380,18 @@ def _dispatch(
 
 def find_extension(
     atoms: Sequence[Atom],
-    target: Instance,
+    target: ProbeTarget,
     partial: Mapping[Var, object] | None = None,
     *,
     injective: bool = False,
     dynamic_order: bool = True,
     plan: str | None = None,
+    backend: str | None = None,
 ) -> dict[Var, object] | None:
     """The first extension found, or ``None``."""
     for assignment in all_extensions_of(
         atoms, target, partial, injective=injective,
-        dynamic_order=dynamic_order, plan=plan,
+        dynamic_order=dynamic_order, plan=plan, backend=backend,
     ):
         return assignment
     return None
@@ -337,16 +399,18 @@ def find_extension(
 
 def satisfies_atoms(
     atoms: Sequence[Atom],
-    target: Instance,
+    target: ProbeTarget,
     partial: Mapping[Var, object] | None = None,
     *,
     dynamic_order: bool = True,
     plan: str | None = None,
+    backend: str | None = None,
 ) -> bool:
     """Does some extension of ``partial`` map all atoms into ``target``?"""
     return (
         find_extension(
-            atoms, target, partial, dynamic_order=dynamic_order, plan=plan
+            atoms, target, partial, dynamic_order=dynamic_order, plan=plan,
+            backend=backend,
         )
         is not None
     )
@@ -372,6 +436,7 @@ def all_homomorphisms(
     *,
     injective: bool = False,
     plan: str | None = None,
+    backend: str | None = None,
 ) -> Iterator[dict[object, object]]:
     """All homomorphisms ``h : dom(source) → dom(target)``.
 
@@ -394,7 +459,8 @@ def all_homomorphisms(
         if elem in as_var:
             partial[as_var[elem]] = value
     for assignment in all_extensions_of(
-        atoms, target, partial, injective=injective, plan=plan
+        atoms, target, partial, injective=injective, plan=plan,
+        backend=backend,
     ):
         hom: dict[object, object] = {
             elem: assignment[var] for elem, var in as_var.items()
@@ -424,10 +490,12 @@ def find_homomorphism(
     *,
     injective: bool = False,
     plan: str | None = None,
+    backend: str | None = None,
 ) -> dict[object, object] | None:
     """The first homomorphism found, or ``None``."""
     for hom in all_homomorphisms(
-        source, target, fixed, injective=injective, plan=plan
+        source, target, fixed, injective=injective, plan=plan,
+        backend=backend,
     ):
         return hom
     return None

@@ -32,12 +32,14 @@ from .compare import (
     parse_injection,
     render_regressions,
 )
-from .families import FAMILIES, BenchFamily, resolve_families
+from .families import FAMILIES, BenchFamily, march_instance, resolve_families, run_march
 from .fingerprint import environment_fingerprint
 from .harness import (
     BENCH_SCHEMA,
     BenchResult,
+    MissingBaselineError,
     bench_filename,
+    load_baseline,
     run_family,
 )
 
@@ -46,14 +48,18 @@ __all__ = [
     "BenchFamily",
     "BenchResult",
     "FAMILIES",
+    "MissingBaselineError",
     "Regression",
     "TRACKED_COUNTERS",
     "apply_injection",
     "bench_filename",
     "compare_results",
     "environment_fingerprint",
+    "load_baseline",
+    "march_instance",
     "parse_injection",
     "render_regressions",
     "resolve_families",
     "run_family",
+    "run_march",
 ]

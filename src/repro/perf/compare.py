@@ -41,6 +41,7 @@ TRACKED_COUNTERS = (
     "hom.index_probes",
     "hom.backtracks",
     "hom.forward_prunes",
+    "columnar.row_probes",
     "chase.rounds",
     "chase.triggers_enumerated",
     "entailment.calls",

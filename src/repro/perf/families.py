@@ -25,21 +25,29 @@ from typing import Callable
 
 from ..analysis.certificates import clear_certificate_cache
 from ..chase.engine import chase
+from ..columnar import execute as _columnar_execute  # noqa: F401
 from ..dependencies.classes import TGDClass
 from ..entailment.cache import ENTAILMENT_CACHE
 from ..entailment.implication import entails
 from ..homomorphisms.plans import PLAN_CACHE
 from ..instances.instance import Instance
+from ..lang.atoms import Fact
 from ..lang.parser import parse_facts, parse_tgds
-from ..lang.schema import Schema
+from ..lang.schema import Relation, Schema
+from ..lang.terms import Const
 from ..rewriting.rewrite import (
     frontier_guarded_to_guarded,
     guarded_to_linear,
     rewrite,
 )
 
-__all__ = ["BenchFamily", "FAMILIES", "clear_engine_caches",
-           "resolve_families"]
+# The columnar executor (and its optional NumPy dependency) is imported
+# at module load so no family's first repeat pays the import inside the
+# timed region.
+
+__all__ = ["BenchFamily", "FAMILIES", "MARCH_BUCKET", "MARCH_NODES",
+           "MARCH_RULES", "clear_engine_caches", "march_instance",
+           "resolve_families", "run_march"]
 
 
 def clear_engine_caches() -> None:
@@ -91,6 +99,64 @@ _CHASE_EXISTENTIAL_DATA = "R(a, b). R(b, c). R(c, a)."
 def _instance(schema: Schema, text: str) -> Instance:
     facts = parse_facts(text)
     return Instance.from_facts(schema, facts)
+
+
+# The dense-chase "march" workload behind the chase-columnar family and
+# the benchmarks/bench_columnar.py ablation.  A marker marches around a
+# ring of MARCH_NODES nodes: for each node the 3-ary edge relation holds
+# one "diagonal" successor row (positions 1 and 2 equal) buried in
+# MARCH_BUCKET-1 distractor rows, so every naive re-enumeration scans
+# large per-node buckets under a positional equality check — the pool
+# shape the columnar executor vectorizes and the object executor walks
+# row by row (re-sorting the bucket every epoch on top).
+
+MARCH_NODES = 32
+MARCH_BUCKET = 96
+_MARCH_E = Relation("E", 3)
+_MARCH_CUR = Relation("Cur", 1)
+_MARCH_SCHEMA = Schema([_MARCH_E, _MARCH_CUR])
+MARCH_RULES = "Cur(x), E(x, y, y) -> Cur(y)"
+
+
+def march_instance(
+    *,
+    nodes: int = MARCH_NODES,
+    bucket: int = MARCH_BUCKET,
+    backend: str = "object",
+) -> Instance:
+    """The pinned march database (deterministic for fixed sizes)."""
+    facts = [Fact(_MARCH_CUR, (Const("v000"),))]
+    for i in range(nodes):
+        here = Const(f"v{i:03d}")
+        succ = Const(f"v{(i + 1) % nodes:03d}")
+        facts.append(Fact(_MARCH_E, (here, succ, succ)))
+        for j in range(bucket - 1):
+            facts.append(
+                Fact(
+                    _MARCH_E,
+                    (here, Const(f"a{i:03d}_{j:03d}"), Const(f"b{i:03d}_{j:03d}")),
+                )
+            )
+    return Instance.from_facts(_MARCH_SCHEMA, facts).with_backend(backend)
+
+
+def run_march(backend: str, *, nodes: int = MARCH_NODES,
+              bucket: int = MARCH_BUCKET) -> None:
+    """One full march chase on ``backend`` (naive strategy: every round
+    re-enumerates every bucket — the dense re-scan shape)."""
+    deps = parse_tgds(MARCH_RULES, _MARCH_SCHEMA)
+    db = march_instance(nodes=nodes, bucket=bucket, backend=backend)
+    if backend == "columnar":
+        db.columnar_kernel()  # warm the kernel; the chase state clones it
+    result = chase(
+        db, deps, strategy="naive", backend=backend, max_rounds=2 * nodes
+    )
+    assert result.successful, "march family must reach a fixpoint"
+    assert result.rounds == nodes, "march must visit every node once"
+
+
+def _run_chase_columnar() -> None:
+    run_march("columnar")
 
 
 def _run_chase_full() -> None:
@@ -174,6 +240,12 @@ FAMILIES: dict[str, BenchFamily] = {
             "entails-cold",
             "cold chase-based entailment battery (cache disabled)",
             _run_entails_cold,
+        ),
+        BenchFamily(
+            "chase-columnar",
+            "dense-bucket march chase on the columnar backend "
+            "(naive re-enumeration over vectorizable pools)",
+            _run_chase_columnar,
         ),
     )
 }

@@ -26,13 +26,51 @@ from ..telemetry import TELEMETRY, Histogram
 from .families import BenchFamily, clear_engine_caches
 from .fingerprint import environment_fingerprint
 
-__all__ = ["BENCH_SCHEMA", "BenchResult", "bench_filename", "run_family"]
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchResult",
+    "MissingBaselineError",
+    "bench_filename",
+    "load_baseline",
+    "run_family",
+]
 
 BENCH_SCHEMA = "repro/bench@1"
 
 
 def bench_filename(family_name: str) -> str:
     return f"BENCH_{family_name}.json"
+
+
+class MissingBaselineError(ValueError):
+    """A baseline directory has no trajectory file for a family.
+
+    Raised (instead of surfacing as a ``FileNotFoundError`` or a bare
+    ``KeyError`` later in the comparison) so callers can tell "this
+    family was never baselined" apart from "the baseline file is
+    corrupt" and report which file to regenerate."""
+
+    def __init__(self, directory: str | Path, family: str) -> None:
+        self.family = family
+        self.path = Path(directory) / bench_filename(family)
+        super().__init__(
+            f"no baseline for family {family!r}: {self.path} does not "
+            f"exist (record one with "
+            f"'repro bench --families {family} --json --out "
+            f"{directory}')"
+        )
+
+
+def load_baseline(directory: str | Path, family: str) -> "BenchResult":
+    """The committed baseline measurement of ``family`` in ``directory``.
+
+    Raises :class:`MissingBaselineError` when the family has no
+    ``BENCH_<family>.json`` there; other load failures (unreadable
+    file, schema mismatch) propagate as ``OSError`` / ``ValueError``."""
+    path = Path(directory) / bench_filename(family)
+    if not path.exists():
+        raise MissingBaselineError(directory, family)
+    return BenchResult.load(path)
 
 
 @dataclass(frozen=True)

@@ -62,16 +62,22 @@ class EntailmentDecider:
     no longer affects which chases run, making the full operation-count
     telemetry (not just the outcome) invariant in ``jobs``; the
     jobs-parity tests rely on this.
+
+    ``backend`` selects the chase's fact-storage representation for
+    every decision (``None`` → the chase default); the decider stays a
+    frozen picklable dataclass, so the knob survives the worker
+    fan-out unchanged.
     """
 
     premises: tuple
     max_rounds: int | None = None
     cache: bool = True
+    backend: str | None = None
 
     def decide(self, candidate: object) -> Verdict:
         verdict = entails(
             self.premises, candidate, max_rounds=self.max_rounds,
-            cache=self.cache,
+            cache=self.cache, backend=self.backend,
         )
         if verdict is TriBool.TRUE:
             return Verdict.ACCEPT

@@ -70,6 +70,23 @@ class TestChase:
         data.write_text("R(a)")
         assert main(["chase", str(rules), str(data)]) == 1
 
+    def test_backend_knob_is_output_invariant(
+        self, rules_file, data_file, capsys
+    ):
+        assert main(["chase", rules_file, data_file]) == 0
+        reference = capsys.readouterr().out
+        assert main(
+            ["chase", rules_file, data_file, "--backend", "columnar"]
+        ) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_unknown_backend_rejected(self, rules_file, data_file):
+        with pytest.raises(SystemExit):
+            main(
+                ["chase", rules_file, data_file,
+                 "--backend", "vectorized"]
+            )
+
 
 class TestEntails:
     def test_positive(self, rules_file, capsys):
@@ -82,6 +99,13 @@ class TestEntails:
     def test_negative(self, rules_file, capsys):
         main(["entails", rules_file, "Student(s) -> Lecturer(s)"])
         assert "false" in capsys.readouterr().out
+
+    def test_backend_knob_preserves_verdicts(self, rules_file, capsys):
+        assert main(
+            ["entails", rules_file, "Enrolled(s, c) -> Student(s)",
+             "--backend", "columnar"]
+        ) == 0
+        assert "true" in capsys.readouterr().out
 
 
 class TestRewrite:
@@ -357,14 +381,42 @@ class TestBenchCommand:
         output = capsys.readouterr().out
         assert "hom.index_probes" in output or "chase.triggers" in output
 
-    def test_missing_baseline_is_reported_not_fatal(
+    def test_missing_baseline_fails_with_clear_message(
         self, tmp_path, capsys
     ):
+        """A family without a committed baseline is a hard comparison
+        failure — exit 1 with the exact file that is missing and the
+        command that records it, never a silent pass or a KeyError."""
         empty = tmp_path / "empty"
         empty.mkdir()
         assert main(
             ["bench", "--families", "chase-full", "--repeat", "1",
              "--compare", str(empty)]
-        ) == 0
+        ) == 1
         captured = capsys.readouterr()
-        assert "no baseline for: chase-full" in captured.err
+        assert "no baseline for family 'chase-full'" in captured.err
+        assert "BENCH_chase-full.json" in captured.err
+        assert "record one with" in captured.err
+        assert "missing baseline(s) for: chase-full" in captured.err
+
+    def test_partial_baselines_still_compare_present_families(
+        self, tmp_path, capsys
+    ):
+        """With one family baselined and one missing, the present
+        family is still gated (its verdict prints) and the run still
+        fails overall on the absent one."""
+        out = tmp_path / "bench"
+        assert main(
+            ["bench", "--families", "chase-full", "--repeat", "1",
+             "--json", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["bench", "--families", "chase-full,entails-cold",
+             "--repeat", "1", "--compare", str(out),
+             "--threshold", "5.0"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "no baseline for family 'entails-cold'" in captured.err
+        assert "missing baseline(s) for: entails-cold" in captured.err
+        assert "chase-full" not in captured.err

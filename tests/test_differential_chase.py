@@ -1,21 +1,25 @@
-"""Differential harness: naive vs semi-naive chase.
+"""Differential harness: the backend × strategy × plan chase grid.
 
 The semi-naive engine (delta joins over the indexed state,
-``strategy="seminaive"``) is proven equivalent to the reference naive
-engine by construction *and* by brute force: both fire the active
-triggers of every dependency in the same canonical order, so their
+``strategy="seminaive"``), the compiled join plans, and the columnar
+interned-fact backend are each proven equivalent to the reference
+engine (object backend, naive strategy, interpreted search) by
+construction *and* by brute force: every grid cell fires the active
+triggers of every dependency in the same canonical order, so the
 outputs must be identical — not merely isomorphic — fact for fact and
 null for null.  This module is the brute-force half: hundreds of
 randomized scenarios (both variants, with egds and denial constraints
 mixed in), seed-pinned plus a hypothesis sweep, each asserting
 isomorphism (the paper-level notion, via
 :mod:`repro.homomorphisms.isomorphism`) on top of exact equality of
-instances and of every ``ChaseResult`` statistic.
+instances and of every ``ChaseResult`` statistic across all eight
+backend × strategy × plan cells.
 
-Also here: the counter-parity check CI runs (the semi-naive engine may
-never *enumerate* more triggers than the naive one) and the regression
-test for the restricted-chase hot loop that used to copy the full
-instance once per trigger.
+Also here: the counter-parity checks CI runs (the semi-naive engine may
+never *enumerate* more triggers than the naive one; the columnar
+backend must match the object backend exactly on every shared engine
+counter) and the regression test for the restricted-chase hot loop that
+used to copy the full instance once per trigger.
 """
 
 from __future__ import annotations
@@ -100,33 +104,38 @@ def _random_scenario(
 
 
 def assert_strategies_agree(instance, deps, *, variant="restricted"):
-    """The core differential assertion, now a 2×2 grid: both evaluation
-    strategies crossed with both homomorphism-search backends
-    (interpreted reference vs compiled join plans).  All four runs must
+    """The core differential assertion, now a 2×2×2 grid: both fact
+    backends (object reference vs columnar interned store) crossed with
+    both evaluation strategies and both homomorphism-search plan modes
+    (interpreted reference vs compiled join plans).  All eight runs must
     be bit-for-bit equal — same facts, same null numbering, same
-    statistics."""
+    statistics.  (Under ``plan="interpreted"`` the columnar backend
+    exercises its decoded probe interface rather than the ID-level
+    executor; both cells are part of the contract.)"""
     reference = None
-    for strategy in ("naive", "seminaive"):
-        for plan in ("interpreted", "compiled"):
-            result = chase(
-                instance, deps, variant=variant, strategy=strategy,
-                plan=plan, max_rounds=MAX_ROUNDS, max_facts=MAX_FACTS,
-            )
-            if reference is None:
-                reference = result
-                continue
-            label = f"{strategy}/{plan}"
-            assert result.stop_reason == reference.stop_reason, label
-            assert result.terminated == reference.terminated, label
-            assert result.failed == reference.failed, label
-            assert result.rounds == reference.rounds, label
-            assert result.fired == reference.fired, label
-            assert result.nulls_created == reference.nulls_created, label
-            # Canonical firing order makes the engines bit-for-bit
-            # equal...
-            assert result.instance == reference.instance, label
+    for backend in ("object", "columnar"):
+        for strategy in ("naive", "seminaive"):
+            for plan in ("interpreted", "compiled"):
+                result = chase(
+                    instance, deps, variant=variant, strategy=strategy,
+                    plan=plan, backend=backend,
+                    max_rounds=MAX_ROUNDS, max_facts=MAX_FACTS,
+                )
+                if reference is None:
+                    reference = result
+                    continue
+                label = f"{backend}/{strategy}/{plan}"
+                assert result.stop_reason == reference.stop_reason, label
+                assert result.terminated == reference.terminated, label
+                assert result.failed == reference.failed, label
+                assert result.rounds == reference.rounds, label
+                assert result.fired == reference.fired, label
+                assert result.nulls_created == reference.nulls_created, label
+                # Canonical firing order makes the engines bit-for-bit
+                # equal...
+                assert result.instance == reference.instance, label
     # ...which the paper-level equivalence (isomorphism) must confirm
-    # (``result`` is the last grid cell: seminaive over compiled plans).
+    # (``result`` is the last grid cell: columnar, seminaive, compiled).
     if reference.instance.fact_count() <= ISO_FACT_CAP:
         assert are_isomorphic(result.instance, reference.instance)
     return reference
@@ -251,13 +260,29 @@ class TestCounterParity:
          "E(a, b). E(b, a)"),
     )
 
-    def _counters(self, instance, deps, strategy, plan="compiled"):
+    # The backend-parity contract: every counter the two fact backends
+    # share must agree *exactly* — a columnar executor that probes or
+    # backtracks differently from the object reference is wrong even
+    # when its output instance is identical.
+    SHARED_COUNTERS = (
+        "chase.rounds",
+        "chase.triggers_enumerated",
+        "chase.triggers_fired",
+        "chase.facts_added",
+        "hom.matches",
+        "hom.backtracks",
+        "hom.index_probes",
+        "hom.forward_prunes",
+    )
+
+    def _counters(self, instance, deps, strategy, plan="compiled",
+                  backend="object"):
         TELEMETRY.reset()
         TELEMETRY.enable(spans=False)
         try:
             chase(
                 instance, deps, strategy=strategy, plan=plan,
-                max_rounds=8, max_facts=MAX_FACTS,
+                backend=backend, max_rounds=8, max_facts=MAX_FACTS,
             )
             return TELEMETRY.snapshot()
         finally:
@@ -304,6 +329,42 @@ class TestCounterParity:
                 assert interp.get(counter, 0) == comp.get(counter, 0), (
                     f"{strategy}: {counter}"
                 )
+
+    @pytest.mark.parametrize("case", range(len(FIXED)))
+    @pytest.mark.parametrize("strategy", ["naive", "seminaive"])
+    def test_columnar_matches_object_counters(self, case, strategy):
+        """Exact parity on every shared counter, both strategies.
+
+        ``columnar.intern_hits`` is deliberately not compared — it only
+        exists on one backend, and its value depends on whether the
+        chase state was rebuilt from facts or cloned from a warm
+        kernel (an unobservable construction detail)."""
+        rules_text, facts_text = self.FIXED[case]
+        schema = Schema.of(("E", 2), ("R", 2))
+        deps = parse_tgds(rules_text, schema)
+        instance = Instance.parse(facts_text, schema)
+        obj = self._counters(instance, deps, strategy, backend="object")
+        col = self._counters(instance, deps, strategy, backend="columnar")
+        for counter in self.SHARED_COUNTERS:
+            assert obj.get(counter, 0) == col.get(counter, 0), (
+                f"{strategy}: {counter}"
+            )
+
+    def test_columnar_executor_actually_runs(self):
+        """The join case must go through the ID-level executor —
+        ``columnar.row_probes`` counts the row IDs it enumerated, and
+        zero would mean the grid silently fell back to the object
+        path."""
+        rules_text, facts_text = self.FIXED[0]  # transitive closure join
+        schema = Schema.of(("E", 2), ("R", 2))
+        deps = parse_tgds(rules_text, schema)
+        instance = Instance.parse(facts_text, schema)
+        counters = self._counters(
+            instance, deps, "seminaive", backend="columnar"
+        )
+        assert counters.get("columnar.row_probes", 0) > 0
+        obj = self._counters(instance, deps, "seminaive", backend="object")
+        assert "columnar.row_probes" not in obj
 
     def test_chase_reuses_plans_across_rounds(self):
         """A transitive-closure chase matches the same two rule bodies

@@ -20,10 +20,12 @@ from repro.perf import (
     BENCH_SCHEMA,
     FAMILIES,
     BenchResult,
+    MissingBaselineError,
     apply_injection,
     bench_filename,
     compare_results,
     environment_fingerprint,
+    load_baseline,
     parse_injection,
     render_regressions,
     resolve_families,
@@ -211,6 +213,38 @@ class TestInjection:
         assert apply_injection(base, {}) is base
 
 
+class TestBaselineLoading:
+    def test_load_baseline_round_trips(self, tmp_path):
+        result = _result()
+        result.write(tmp_path)
+        loaded = load_baseline(tmp_path, "chase-full")
+        assert loaded.family == "chase-full"
+        assert loaded.wall_seconds == result.wall_seconds
+        assert dict(loaded.counters) == dict(result.counters)
+
+    def test_missing_family_raises_typed_error(self, tmp_path):
+        with pytest.raises(MissingBaselineError) as excinfo:
+            load_baseline(tmp_path, "chase-columnar")
+        err = excinfo.value
+        # Typed fields let the CLI distinguish "never baselined" from
+        # "corrupt file" and tell the user exactly what to regenerate.
+        assert err.family == "chase-columnar"
+        assert err.path == tmp_path / bench_filename("chase-columnar")
+        message = str(err)
+        assert "no baseline for family 'chase-columnar'" in message
+        assert "record one with" in message
+        assert isinstance(err, ValueError)
+
+    def test_corrupt_file_is_not_a_missing_baseline(self, tmp_path):
+        path = tmp_path / bench_filename("chase-full")
+        path.write_text('{"schema": "repro/bench@999"}')
+        with pytest.raises(ValueError, match="unsupported bench schema"):
+            load_baseline(tmp_path, "chase-full")
+        with pytest.raises(ValueError) as excinfo:
+            load_baseline(tmp_path, "chase-full")
+        assert not isinstance(excinfo.value, MissingBaselineError)
+
+
 class TestCommittedBaselines:
     def test_baselines_exist_and_pass_against_themselves(self):
         from pathlib import Path
@@ -226,3 +260,31 @@ class TestCommittedBaselines:
             result = BenchResult.load(path)
             assert result.schema == BENCH_SCHEMA
             assert compare_results(result, result) == []
+
+    def test_every_family_has_a_committed_baseline(self):
+        """The CI trajectory job compares every smoke family against
+        ``benchmarks/baselines`` — and missing baselines are a hard
+        failure there, so adding a family without recording one must
+        fail here first."""
+        from pathlib import Path
+
+        baseline_dir = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "baselines"
+        )
+        for family in FAMILIES.values():
+            loaded = load_baseline(baseline_dir, family.name)
+            assert loaded.family == family.name
+
+    def test_chase_columnar_baseline_tracks_row_probes(self):
+        from pathlib import Path
+
+        baseline_dir = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "baselines"
+        )
+        result = load_baseline(baseline_dir, "chase-columnar")
+        assert result.counters.get("columnar.row_probes", 0) > 0
+        assert result.counters.get("chase.rounds") == 32  # MARCH_NODES
