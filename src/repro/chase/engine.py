@@ -46,12 +46,13 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Sequence, Union
 from ..dependencies.denial import DenialConstraint
 from ..dependencies.egd import EGD
 from ..dependencies.tgd import TGD
-from ..homomorphisms.plans import DEFAULT_PLAN, PLAN_MODES
+from ..homomorphisms.plans import DEFAULT_ORDER, DEFAULT_PLAN, ORDER_MODES, PLAN_MODES
 from ..homomorphisms.search import all_extensions_of, find_extension, satisfies_atoms
 from ..instances.instance import BACKENDS, DEFAULT_BACKEND, Instance
 from ..lang.atoms import Atom
 from ..lang.schema import Relation, Schema
 from ..lang.terms import Const, FreshNulls, Null, Var, element_sort_key
+from ..stats.relation import RelationStats, StatsAccumulator
 from ..telemetry import TELEMETRY, MetricsProbe, span
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -176,19 +177,35 @@ class _State:
         self.log: list[tuple[Relation, tuple[object, ...]]] = []
         self._index: dict[Relation, dict[tuple[int, object], set[tuple[object, ...]]]] = {}
         self._sorted: dict[object, tuple[int, tuple[tuple[object, ...], ...]]] = {}
+        self._stats: dict[Relation, StatsAccumulator] = {}
         self._rebuild()
 
     def _rebuild(self) -> None:
-        """Recompute the index and log from the relation sets."""
+        """Recompute the index, log and statistics from the relation
+        sets."""
         self._index = {rel: {} for rel in self.relations}
         self._sorted.clear()
         self.log = []
+        self._stats = {
+            rel: StatsAccumulator(rel.arity) for rel in self.relations
+        }
         for rel, tuples in self.relations.items():
             buckets = self._index[rel]
+            stats = self._stats[rel]
             for tup in tuples:
                 self.log.append((rel, tup))
+                stats.rows += 1
                 for pos, elem in enumerate(tup):
-                    buckets.setdefault((pos, elem), set()).add(tup)
+                    bucket = buckets.get((pos, elem))
+                    if bucket is None:
+                        buckets[pos, elem] = {tup}
+                        stats.distinct[pos] += 1
+                        if not stats.max_bucket[pos]:
+                            stats.max_bucket[pos] = 1
+                    else:
+                        bucket.add(tup)
+                        if len(bucket) > stats.max_bucket[pos]:
+                            stats.max_bucket[pos] = len(bucket)
 
     # -- Instance-compatible probe interface ---------------------------
 
@@ -200,6 +217,11 @@ class _State:
     ) -> set:
         bucket = self._index[relation].get((position, element))
         return bucket if bucket is not None else _EMPTY_SET
+
+    def relation_stats(self, relation: Relation) -> RelationStats:
+        """An O(arity) snapshot of the incrementally maintained
+        statistics — the adaptive ordering strategy's stats hook."""
+        return self._stats[relation].snapshot()
 
     # -- sorted views for the compiled join plans ----------------------
     #
@@ -254,8 +276,19 @@ class _State:
         tuples.add(tup)
         self.epoch += 1
         buckets = self._index[relation]
+        stats = self._stats[relation]
+        stats.rows += 1
         for pos, elem in enumerate(tup):
-            buckets.setdefault((pos, elem), set()).add(tup)
+            bucket = buckets.get((pos, elem))
+            if bucket is None:
+                buckets[pos, elem] = {tup}
+                stats.distinct[pos] += 1
+                if not stats.max_bucket[pos]:
+                    stats.max_bucket[pos] = 1
+            else:
+                bucket.add(tup)
+                if len(bucket) > stats.max_bucket[pos]:
+                    stats.max_bucket[pos] = len(bucket)
         self.log.append((relation, tup))
         return True
 
@@ -308,6 +341,7 @@ def _enumerate_triggers(
     cursor: _DeltaCursor,
     strategy: str,
     plan: str | None,
+    order: str | None,
 ) -> list[dict[Var, object]]:
     """The dependency's candidate triggers for this sweep, canonically
     ordered.
@@ -322,7 +356,9 @@ def _enumerate_triggers(
     """
     univ = dep.universal_variables
     if strategy == "naive" or cursor.generation != state.generation:
-        triggers = list(all_extensions_of(dep.body, state, plan=plan))
+        triggers = list(
+            all_extensions_of(dep.body, state, plan=plan, order=order)
+        )
     else:
         triggers = []
         delta = state.log[cursor.position:]
@@ -341,7 +377,7 @@ def _enumerate_triggers(
                     if partial is None:
                         continue
                     for trig in all_extensions_of(
-                        rest, state, partial, plan=plan
+                        rest, state, partial, plan=plan, order=order
                     ):
                         key = tuple(trig[v] for v in univ)
                         if key not in seen:
@@ -384,7 +420,10 @@ def _fire_tgd(
 
 
 def _chase_egd(
-    state: _State | ColumnarState, egd: EGD, plan: str | None
+    state: _State | ColumnarState,
+    egd: EGD,
+    plan: str | None,
+    order: str | None,
 ) -> tuple[bool, bool]:
     """Apply one round of egd repairs; returns (changed, failed)."""
     if egd.is_trivial:
@@ -393,7 +432,9 @@ def _chase_egd(
     while True:
         violation = None
         # Search the live state; we break out before mutating it.
-        for trigger in all_extensions_of(egd.body, state, plan=plan):
+        for trigger in all_extensions_of(
+            egd.body, state, plan=plan, order=order
+        ):
             if trigger[egd.lhs] != trigger[egd.rhs]:
                 violation = (trigger[egd.lhs], trigger[egd.rhs])
                 break
@@ -427,6 +468,7 @@ def chase(
     certificate: str = "off",
     plan: str | None = None,
     backend: str = DEFAULT_BACKEND,
+    order: str | None = None,
 ) -> ChaseResult:
     """Chase ``instance`` with tgds and egds.
 
@@ -466,6 +508,17 @@ def chase(
     every observable — facts, null numbering, trigger order and the
     shared telemetry counters — which the differential grid in
     ``tests/test_differential_chase.py`` asserts.
+
+    ``order`` selects the atom-ordering strategy of compiled join
+    plans: ``"static"`` (the boundness/extent-rank reference order —
+    bit-identical results across every other knob) or ``"adaptive"``
+    (per-(plan, statistics) orders from the selectivity cost model in
+    :mod:`repro.stats`, with a guard-bound fallback to static).
+    Adaptive runs produce the *same* chase result for tgd-only
+    dependency sets (trigger firing order is canonically sorted); with
+    egds the result is isomorphic rather than equal, because the
+    first-violation search is enumeration-order dependent.
+    ``order="adaptive"`` requires ``plan="compiled"``.
     """
     deps = sorted(dependencies, key=str)
     if variant not in ("restricted", "oblivious"):
@@ -476,6 +529,15 @@ def chase(
         raise ChaseError(f"unknown certificate mode {certificate!r}")
     if plan is not None and plan not in PLAN_MODES:
         raise ChaseError(f"unknown join plan mode {plan!r}")
+    if order is not None and order not in ORDER_MODES:
+        raise ChaseError(f"unknown join order mode {order!r}")
+    effective_order = order if order is not None else DEFAULT_ORDER
+    effective_plan = plan if plan is not None else DEFAULT_PLAN
+    if effective_order != "static" and effective_plan != "compiled":
+        raise ChaseError(
+            f"order={effective_order!r} requires plan='compiled' "
+            f"(got plan={effective_plan!r})"
+        )
     if backend not in BACKENDS:
         raise ChaseError(f"unknown chase backend {backend!r}")
     if certificate == "auto" and max_rounds is not None:
@@ -494,7 +556,8 @@ def chase(
         "engine": "chase",
         "variant": variant,
         "strategy": strategy,
-        "plan": plan if plan is not None else DEFAULT_PLAN,
+        "plan": effective_plan,
+        "order": effective_order,
         "backend": backend,
         "certificate": certificate,
         "max_rounds": max_rounds,
@@ -551,14 +614,16 @@ def chase(
                 for index, dep in enumerate(deps):
                     if isinstance(dep, DenialConstraint):
                         if find_extension(
-                            dep.body, state, plan=plan
+                            dep.body, state, plan=plan, order=order
                         ) is not None:
                             return finish(
                                 True, True, StopReason.DENIAL_VIOLATION
                             )
                         continue
                     if isinstance(dep, EGD):
-                        changed, egd_failed = _chase_egd(state, dep, plan)
+                        changed, egd_failed = _chase_egd(
+                            state, dep, plan, order
+                        )
                         progressed = progressed or changed
                         if egd_failed:
                             return finish(
@@ -566,7 +631,7 @@ def chase(
                             )
                         continue
                     triggers = _enumerate_triggers(
-                        state, dep, cursors[index], strategy, plan
+                        state, dep, cursors[index], strategy, plan, order
                     )
                     round_triggers += len(triggers)
                     if TELEMETRY.enabled and triggers:
@@ -589,7 +654,8 @@ def chase(
                             # Restricted: re-check activity against the
                             # live indexed state (no snapshot copies).
                             if satisfies_atoms(
-                                dep.head, state, trigger, plan=plan
+                                dep.head, state, trigger, plan=plan,
+                                order=order,
                             ):
                                 continue
                         added, created = _fire_tgd(

@@ -173,7 +173,7 @@ def _cmd_chase(args) -> int:
     db = _load_instance(args.data)
     result = chase(
         db, deps, max_rounds=args.max_rounds, certificate=args.certificate,
-        backend=args.backend,
+        backend=args.backend, order=args.order,
     )
     status = "failed (constraint violation)" if result.failed else (
         "terminated" if result.terminated else "budget exhausted"
@@ -188,7 +188,8 @@ def _cmd_entails(args) -> int:
     deps = _load_dependencies(args.rules)
     conclusion = parse_dependency(args.rule)
     verdict = entails(
-        deps, conclusion, max_rounds=args.max_rounds, backend=args.backend
+        deps, conclusion, max_rounds=args.max_rounds, backend=args.backend,
+        order=args.order,
     )
     print(f"Σ ⊨ {conclusion}: {verdict}")
     return 0 if verdict.is_definite else 2
@@ -209,6 +210,8 @@ def _cmd_rewrite(args) -> int:
         minimize=not args.no_minimize,
         jobs=args.jobs,
         search_budget=budget,
+        backend=args.backend,
+        order=args.order,
     )
     if args.target == "linear":
         result = guarded_to_linear(tgds, **search_kwargs)
@@ -438,6 +441,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fact-storage backend: 'columnar' runs joins over interned "
              "integer columns; results are bit-identical to 'object'",
     )
+    p.add_argument(
+        "--order", choices=("static", "adaptive"), default=None,
+        help="atom ordering of compiled join plans: 'adaptive' re-orders "
+             "from live instance statistics (tgd-only results identical; "
+             "with egds isomorphic)",
+    )
     p.set_defaults(func=_cmd_chase)
 
     p = sub.add_parser("entails", parents=[common], help="decide Σ ⊨ σ")
@@ -449,6 +458,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="fact-storage backend for the freeze-and-chase "
              "(default: the chase's own default; verdicts are "
              "backend-invariant)",
+    )
+    p.add_argument(
+        "--order", choices=("static", "adaptive"), default=None,
+        help="atom ordering of compiled join plans (verdicts are "
+             "order-invariant)",
     )
     p.set_defaults(func=_cmd_entails)
 
@@ -471,6 +485,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-seconds", type=float, default=None, metavar="S",
         help="search budget: stop the candidate scan after S seconds",
+    )
+    p.add_argument(
+        "--backend", choices=("object", "columnar"), default=None,
+        help="fact-storage backend for every candidate/verification "
+             "chase (results are backend-invariant)",
+    )
+    p.add_argument(
+        "--order", choices=("static", "adaptive"), default=None,
+        help="atom ordering of compiled join plans (results are "
+             "order-invariant)",
     )
     p.set_defaults(func=_cmd_rewrite)
 

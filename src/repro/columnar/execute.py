@@ -47,10 +47,12 @@ from typing import Any, Iterator, Mapping, Sequence, cast
 from ..homomorphisms.plans import (
     _CHECK_CONST,
     _CHECK_SLOT,
+    ORDERINGS,
     PLAN_CACHE,
     JoinPlan,
     _signature_parts,
 )
+from ..stats.cost import MISPREDICT_FACTOR
 from ..lang.atoms import Atom
 from ..lang.terms import Const, Var
 from ..telemetry import TELEMETRY
@@ -74,6 +76,7 @@ def iterate_columnar(
     kernel: ColumnarStore,
     assignment: dict[Var, object],
     injective: bool,
+    order: str = "static",
 ) -> Iterator[dict[Var, object]]:
     """Compile (or fetch) the conjunction's plan and execute it at ID
     level — the columnar twin of the compiled dispatch path."""
@@ -111,9 +114,12 @@ def iterate_columnar(
             TELEMETRY.count("hom.forward_prunes")
         return
     key, slot_vars, slot_index = _signature_parts(atoms, assignment, sizes)
+    estimates: tuple[int, ...] | None = None
+    if order != "static":
+        key, estimates = ORDERINGS[order].plan_key(key, kernel)
     plan = PLAN_CACHE.get(key)
     yield from execute_plan_columnar(
-        plan, slot_vars, kernel, assignment, injective, slot_index
+        plan, slot_vars, kernel, assignment, injective, slot_index, estimates
     )
 
 
@@ -149,9 +155,15 @@ def execute_plan_columnar(
     partial: Mapping[Var, object],
     injective: bool,
     slot_index: Mapping[Var, int] | None = None,
+    estimates: Sequence[int] | None = None,
 ) -> Iterator[dict[Var, object]]:
     """Run a compiled plan against a columnar store, yielding the
-    object executor's exact assignment stream."""
+    object executor's exact assignment stream.
+
+    ``estimates`` carries the adaptive cost model's expected per-step
+    pool sizes (aligned with the plan's steps); observed pools more
+    than :data:`~repro.stats.cost.MISPREDICT_FACTOR` above the
+    estimate count one ``plan.mispredictions``."""
     steps = plan.steps
     vid_of = kernel.vid_of
 
@@ -259,9 +271,15 @@ def execute_plan_columnar(
         else:
             candidate_rows = kernel.sorted_rows(relation)
         if telemetry.enabled:
-            telemetry.observe("hom.probe_fanout", len(candidate_rows))
+            pool = len(candidate_rows)
+            telemetry.observe("hom.probe_fanout", pool)
             if candidate_rows:
-                telemetry.count("columnar.row_probes", len(candidate_rows))
+                telemetry.count("columnar.row_probes", pool)
+            if (
+                estimates is not None
+                and pool > estimates[depth] * MISPREDICT_FACTOR
+            ):
+                telemetry.count("plan.mispredictions")
         checks = step_checks[depth]
         binds = step.binds
         forward = step.forward

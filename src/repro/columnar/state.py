@@ -24,6 +24,7 @@ from __future__ import annotations
 from ..instances.instance import Instance
 from ..lang.schema import Relation, Schema
 from ..lang.terms import element_sort_key
+from ..stats.relation import RelationStats
 from .store import ColumnarStore
 
 __all__ = ["ColumnarState"]
@@ -93,6 +94,10 @@ class ColumnarState:
         self, relation: Relation, position: int, element: object
     ) -> tuple[tuple[object, ...], ...]:
         return self.store.tuples_with(relation, position, element)
+
+    def relation_stats(self, relation: Relation) -> RelationStats:
+        """The store's incrementally maintained statistics snapshot."""
+        return self.store.relation_stats(relation)
 
     def sorted_tuples(
         self, relation: Relation

@@ -22,6 +22,7 @@ from typing import Iterable, Iterator, Sequence, cast
 
 from ..homomorphisms.plans import _CHECK_CONST, JoinPlan
 from ..lang.schema import Relation
+from ..stats.relation import RelationStats, StatsAccumulator
 from .intern import InternTable
 
 __all__ = ["ColumnarStore"]
@@ -73,6 +74,7 @@ class ColumnarStore:
         "_sorted_extents",
         "_foreign",
         "_plans",
+        "_stats",
     )
 
     def __init__(
@@ -113,6 +115,11 @@ class ColumnarStore:
         # translations remain consistent with per-execution seeds.
         self._foreign: dict[object, int] = {}
         self._plans: dict[object, tuple[_TranslatedPlan, bool, int]] = {}
+        # Interning is a bijection, so ID-level statistics equal the
+        # object backend's element-level statistics exactly.
+        self._stats: dict[Relation, StatsAccumulator] = {
+            rel: StatsAccumulator(rel.arity) for rel in rels
+        }
 
     # ------------------------------------------------------------------
     # Introspection
@@ -137,6 +144,11 @@ class ColumnarStore:
     def resolve(self, vid: int) -> object:
         return self.table.resolve(vid)
 
+    def relation_stats(self, relation: Relation) -> RelationStats:
+        """An O(arity) snapshot of the incrementally maintained
+        statistics — the adaptive ordering strategy's stats hook."""
+        return self._stats[relation].snapshot()
+
     # ------------------------------------------------------------------
     # Mutation
 
@@ -154,13 +166,20 @@ class ColumnarStore:
     def append_ids(self, relation: Relation, vids: tuple[int, ...]) -> int:
         row = self._nrows[relation]
         buckets = self._buckets[relation]
+        stats = self._stats[relation]
+        stats.rows += 1
         for pos, (column, vid) in enumerate(zip(self._columns[relation], vids)):
             column.append(vid)
             bucket = buckets.get((pos, vid))
             if bucket is None:
                 buckets[pos, vid] = [row]
+                stats.distinct[pos] += 1
+                if not stats.max_bucket[pos]:
+                    stats.max_bucket[pos] = 1
             else:
                 bucket.append(row)
+                if len(bucket) > stats.max_bucket[pos]:
+                    stats.max_bucket[pos] = len(bucket)
         self._rows[relation][vids] = row
         self._nrows[relation] = row + 1
         return row
@@ -191,6 +210,7 @@ class ColumnarStore:
         other._sorted_extents = {}
         other._foreign = self._foreign.copy()
         other._plans = self._plans.copy()
+        other._stats = {}
         for rel in rels:
             if rel in self._nrows:
                 other._columns[rel] = tuple(
@@ -211,6 +231,12 @@ class ColumnarStore:
                 extent = self._sorted_extents.get(rel)
                 if extent is not None:
                     other._sorted_extents[rel] = extent.clone()
+                stats = self._stats[rel]
+                copied = StatsAccumulator(rel.arity)
+                copied.rows = stats.rows
+                copied.distinct = stats.distinct.copy()
+                copied.max_bucket = stats.max_bucket.copy()
+                other._stats[rel] = copied
             else:
                 other._columns[rel] = tuple(
                     array("q") for _ in range(rel.arity)
@@ -221,6 +247,7 @@ class ColumnarStore:
                 other._row_keys[rel] = []
                 other._decoded[rel] = []
                 other._sorted_buckets[rel] = {}
+                other._stats[rel] = StatsAccumulator(rel.arity)
         return other
 
     # ------------------------------------------------------------------
@@ -461,18 +488,26 @@ class ColumnarStore:
         self._sorted_extents = {}
         self._foreign = {}
         self._plans = {}
+        self._stats = {rel: StatsAccumulator(rel.arity) for rel in relations}
         for rel in relations:
             rel_columns = columns[rel]
             buckets = self._buckets[rel]
             rows = self._rows[rel]
+            stats = self._stats[rel]
             for row in range(nrows[rel]):
                 vids = tuple(column[row] for column in rel_columns)
+                stats.rows += 1
                 for pos, vid in enumerate(vids):
                     bucket = buckets.get((pos, vid))
                     if bucket is None:
                         buckets[pos, vid] = [row]
+                        stats.distinct[pos] += 1
+                        if not stats.max_bucket[pos]:
+                            stats.max_bucket[pos] = 1
                     else:
                         bucket.append(row)
+                        if len(bucket) > stats.max_bucket[pos]:
+                            stats.max_bucket[pos] = len(bucket)
                 rows[vids] = row
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

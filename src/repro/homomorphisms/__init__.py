@@ -3,11 +3,17 @@
 from .cores import core, find_proper_retraction, homomorphically_equivalent
 from .isomorphism import all_isomorphisms, are_isomorphic, find_isomorphism
 from .plans import (
+    DEFAULT_ORDER,
     DEFAULT_PLAN,
+    ORDER_MODES,
+    ORDERINGS,
     PLAN_CACHE,
     PLAN_MODES,
+    AdaptiveOrdering,
     JoinPlan,
+    Ordering,
     PlanCache,
+    StaticOrdering,
     compile_plan,
     conjunction_signature,
 )
@@ -24,6 +30,8 @@ __all__ = [
     "all_isomorphisms", "are_isomorphic", "find_isomorphism",
     "all_extensions_of", "all_homomorphisms", "find_extension",
     "find_homomorphism", "satisfies_atoms",
-    "DEFAULT_PLAN", "PLAN_CACHE", "PLAN_MODES", "JoinPlan", "PlanCache",
+    "DEFAULT_ORDER", "DEFAULT_PLAN", "ORDER_MODES", "ORDERINGS",
+    "PLAN_CACHE", "PLAN_MODES", "AdaptiveOrdering", "JoinPlan",
+    "Ordering", "PlanCache", "StaticOrdering",
     "compile_plan", "conjunction_signature",
 ]

@@ -27,6 +27,13 @@ order — the determinism contract tested by
   textual atom order (the ablation baseline in
   ``benchmarks/bench_ablations.py``) and implies the interpreted path.
 
+On the compiled path, ``order="adaptive"`` swaps the static
+boundness/extent-rank atom order for one chosen per (conjunction,
+instance-statistics) by the selectivity cost model in
+:mod:`repro.stats.cost` — same assignment *set*, possibly a different
+stream sequence, with a guard-bound fallback to static when the
+estimated worst case blows up or statistics are cold.
+
 Target tuples are indexed per relation and position and filtered on
 bound positions; ``hom.index_probes`` counts one per bucket consulted.
 """
@@ -41,7 +48,14 @@ from ..lang.schema import Relation
 from ..lang.terms import Const, Var, element_sort_key
 from ..telemetry import TELEMETRY
 from . import plans as _plans
-from .plans import PLAN_CACHE, PLAN_MODES, _signature_parts, execute_plan
+from .plans import (
+    ORDER_MODES,
+    ORDERINGS,
+    PLAN_CACHE,
+    PLAN_MODES,
+    _signature_parts,
+    execute_plan,
+)
 
 __all__ = [
     "ProbeTarget",
@@ -78,6 +92,26 @@ def _resolve_plan(plan: str | None, dynamic_order: bool) -> str:
     if not dynamic_order:
         return "interpreted"
     return mode
+
+
+def _resolve_order(order: str | None, mode: str) -> str:
+    """The effective ordering strategy for a resolved plan mode.
+
+    Adaptive ordering re-orders *compiled* plans; the interpreted
+    reference path has no ordering hook, so requesting a non-static
+    order there is a configuration error rather than a silent no-op.
+    """
+    effective = _plans.DEFAULT_ORDER if order is None else order
+    if effective not in ORDER_MODES:
+        raise ValueError(
+            f"unknown order mode {order!r}; expected one of {ORDER_MODES}"
+        )
+    if effective != "static" and mode != "compiled":
+        raise ValueError(
+            f"order={effective!r} requires compiled plans "
+            f"(got plan mode {mode!r})"
+        )
+    return effective
 
 
 def _resolve_backend(target: ProbeTarget, backend: str | None) -> ProbeTarget:
@@ -261,6 +295,7 @@ def _iterate_compiled(
     target: ProbeTarget,
     assignment: dict[Var, object],
     injective: bool,
+    order: str = "static",
 ) -> Iterator[dict[Var, object]]:
     """Compile (or fetch) the conjunction's plan and execute it.
 
@@ -310,6 +345,12 @@ def _iterate_compiled(
             TELEMETRY.count("hom.forward_prunes")
         return
     key, slot_vars, slot_index = _signature_parts(atoms, assignment, sizes)
+    estimates: tuple[int, ...] | None = None
+    if order != "static":
+        # The strategy may re-order the key (adaptive) or return it
+        # unchanged (cold statistics / guard fallback) — either way the
+        # plan cache sees a well-formed key.
+        key, estimates = ORDERINGS[order].plan_key(key, target)
     plan = PLAN_CACHE.get(key)
     kernel_of = getattr(target, "columnar_kernel", None)
     if kernel_of is not None:
@@ -319,11 +360,12 @@ def _iterate_compiled(
             from ..columnar.execute import execute_plan_columnar
 
             yield from execute_plan_columnar(
-                plan, slot_vars, kernel, assignment, injective, slot_index
+                plan, slot_vars, kernel, assignment, injective, slot_index,
+                estimates,
             )
             return
     yield from execute_plan(
-        plan, slot_vars, target, assignment, injective, slot_index
+        plan, slot_vars, target, assignment, injective, slot_index, estimates
     )
 
 
@@ -336,6 +378,7 @@ def all_extensions_of(
     dynamic_order: bool = True,
     plan: str | None = None,
     backend: str | None = None,
+    order: str | None = None,
 ) -> Iterator[dict[Var, object]]:
     """All extensions of ``partial`` mapping every atom to a fact of
     ``target``.  Yields complete assignments (including ``partial``).
@@ -345,14 +388,23 @@ def all_extensions_of(
     byte-identical streams.  ``dynamic_order=False`` matches atoms in
     textual order (the ablation baseline) on the interpreted path.
     ``backend`` switches the target's storage representation first
-    (``None`` keeps whatever the target carries)."""
+    (``None`` keeps whatever the target carries).  ``order`` selects
+    the atom-ordering strategy of compiled plans (``None`` →
+    :data:`repro.homomorphisms.plans.DEFAULT_ORDER`): ``"static"`` is
+    byte-identical to the interpreter, ``"adaptive"`` re-orders from
+    instance statistics and yields the same assignment *set* in a
+    possibly different sequence."""
     mode = _resolve_plan(plan, dynamic_order)
+    ordering = _resolve_order(order, mode)
     target = _resolve_backend(target, backend)
     assignment = dict(partial or {})
     # Keep tuple inputs (frozen rule bodies) intact: the plan layer's
     # identity memo recognizes the same conjunction object across calls.
     atom_seq = atoms if type(atoms) is tuple else tuple(atoms)
-    return _dispatch(atom_seq, target, assignment, injective, dynamic_order, mode)
+    return _dispatch(
+        atom_seq, target, assignment, injective, dynamic_order, mode,
+        ordering,
+    )
 
 
 def _dispatch(
@@ -362,6 +414,7 @@ def _dispatch(
     injective: bool,
     dynamic_order: bool,
     mode: str,
+    order: str = "static",
 ) -> Iterator[dict[Var, object]]:
     image: set[object] | None = None
     if injective:
@@ -371,7 +424,9 @@ def _dispatch(
             # assignment over a non-empty conjunction.
             return
     if mode == "compiled":
-        yield from _iterate_compiled(atoms, target, assignment, injective)
+        yield from _iterate_compiled(
+            atoms, target, assignment, injective, order
+        )
     else:
         yield from _search(
             atoms, target, assignment, injective, dynamic_order, image
@@ -387,11 +442,12 @@ def find_extension(
     dynamic_order: bool = True,
     plan: str | None = None,
     backend: str | None = None,
+    order: str | None = None,
 ) -> dict[Var, object] | None:
     """The first extension found, or ``None``."""
     for assignment in all_extensions_of(
         atoms, target, partial, injective=injective,
-        dynamic_order=dynamic_order, plan=plan, backend=backend,
+        dynamic_order=dynamic_order, plan=plan, backend=backend, order=order,
     ):
         return assignment
     return None
@@ -405,12 +461,13 @@ def satisfies_atoms(
     dynamic_order: bool = True,
     plan: str | None = None,
     backend: str | None = None,
+    order: str | None = None,
 ) -> bool:
     """Does some extension of ``partial`` map all atoms into ``target``?"""
     return (
         find_extension(
             atoms, target, partial, dynamic_order=dynamic_order, plan=plan,
-            backend=backend,
+            backend=backend, order=order,
         )
         is not None
     )
@@ -437,6 +494,7 @@ def all_homomorphisms(
     injective: bool = False,
     plan: str | None = None,
     backend: str | None = None,
+    order: str | None = None,
 ) -> Iterator[dict[object, object]]:
     """All homomorphisms ``h : dom(source) → dom(target)``.
 
@@ -460,7 +518,7 @@ def all_homomorphisms(
             partial[as_var[elem]] = value
     for assignment in all_extensions_of(
         atoms, target, partial, injective=injective, plan=plan,
-        backend=backend,
+        backend=backend, order=order,
     ):
         hom: dict[object, object] = {
             elem: assignment[var] for elem, var in as_var.items()
@@ -491,11 +549,12 @@ def find_homomorphism(
     injective: bool = False,
     plan: str | None = None,
     backend: str | None = None,
+    order: str | None = None,
 ) -> dict[object, object] | None:
     """The first homomorphism found, or ``None``."""
     for hom in all_homomorphisms(
         source, target, fixed, injective=injective, plan=plan,
-        backend=backend,
+        backend=backend, order=order,
     ):
         return hom
     return None

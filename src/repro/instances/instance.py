@@ -29,6 +29,7 @@ from ..lang.terms import element_sort_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..columnar.store import ColumnarStore
+    from ..stats.relation import RelationStats
 
 __all__ = ["BACKENDS", "DEFAULT_BACKEND", "Instance", "InstanceError"]
 
@@ -56,7 +57,8 @@ class Instance:
     """An immutable relational instance over a fixed schema."""
 
     __slots__ = ("_schema", "_domain", "_relations", "_facts_cache", "_hash",
-                 "_index", "_sorted_extents", "_backend", "_columnar")
+                 "_index", "_sorted_extents", "_backend", "_columnar",
+                 "_stats")
 
     def __init__(
         self,
@@ -98,6 +100,7 @@ class Instance:
         self._sorted_extents: dict[Relation, tuple] | None = None
         self._backend = backend
         self._columnar: "ColumnarStore | None" = None
+        self._stats: dict[Relation, "RelationStats"] | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -128,6 +131,7 @@ class Instance:
         instance._sorted_extents = None
         instance._backend = backend
         instance._columnar = None
+        instance._stats = None
         return instance
 
     @classmethod
@@ -219,6 +223,24 @@ class Instance:
                     store.append(rel, tup)
             self._columnar = store
         return self._columnar
+
+    def relation_stats(self, relation: Relation) -> "RelationStats":
+        """Per-relation distribution statistics (see :mod:`repro.stats`).
+
+        Instances are immutable, so "incremental maintenance"
+        degenerates to computing once on first request and caching for
+        the instance's lifetime — the adaptive join-ordering strategy's
+        stats hook costs one pass per relation ever.
+        """
+        if self._stats is None:
+            self._stats = {}
+        stats = self._stats.get(relation)
+        if stats is None:
+            from ..stats.relation import compute_stats
+
+            stats = compute_stats(self._relations[relation], relation.arity)
+            self._stats[relation] = stats
+        return stats
 
     @property
     def active_domain(self) -> frozenset:
@@ -484,6 +506,7 @@ class Instance:
         self._sorted_extents = None
         self._backend = backend
         self._columnar = None
+        self._stats = None
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Instance):

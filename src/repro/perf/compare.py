@@ -47,6 +47,13 @@ TRACKED_COUNTERS = (
     "entailment.calls",
     "search.candidates",
     "enumeration.candidates",
+    # Adaptive-ordering quality: both are 0 on well-estimated pinned
+    # workloads, and the from-zero rule below makes that a hard gate —
+    # a cost-model change that starts tripping the guard bound or
+    # mispredicting fan-outs on a baselined family is a regression even
+    # though the ratio against 0 is undefined.
+    "plan.guard_fallbacks",
+    "plan.mispredictions",
 )
 
 DEFAULT_WALL_THRESHOLD = 0.20
@@ -102,7 +109,10 @@ def compare_results(
     for name in TRACKED_COUNTERS:
         base = baseline.counters.get(name, 0)
         cur = current.counters.get(name, 0)
-        if base > 0 and cur > base * (1 + counter_threshold):
+        grew_from_zero = base == 0 and cur > 0
+        if grew_from_zero or (
+            base > 0 and cur > base * (1 + counter_threshold)
+        ):
             regressions.append(
                 Regression(current.family, name, float(base), float(cur))
             )

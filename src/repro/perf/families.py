@@ -29,7 +29,7 @@ from ..columnar import execute as _columnar_execute  # noqa: F401
 from ..dependencies.classes import TGDClass
 from ..entailment.cache import ENTAILMENT_CACHE
 from ..entailment.implication import entails
-from ..homomorphisms.plans import PLAN_CACHE
+from ..homomorphisms.plans import PLAN_CACHE, clear_order_memo
 from ..instances.instance import Instance
 from ..lang.atoms import Fact
 from ..lang.parser import parse_facts, parse_tgds
@@ -46,8 +46,9 @@ from ..rewriting.rewrite import (
 # timed region.
 
 __all__ = ["BenchFamily", "FAMILIES", "MARCH_BUCKET", "MARCH_NODES",
-           "MARCH_RULES", "clear_engine_caches", "march_instance",
-           "resolve_families", "run_march"]
+           "MARCH_RULES", "SKEW_FILLER", "SKEW_HUB", "SKEW_NODES",
+           "SKEW_RULES", "clear_engine_caches", "march_instance",
+           "resolve_families", "run_march", "run_skew", "skew_instance"]
 
 
 def clear_engine_caches() -> None:
@@ -55,6 +56,7 @@ def clear_engine_caches() -> None:
     benchmark repeat measures the same work."""
     ENTAILMENT_CACHE.clear()
     PLAN_CACHE.clear()
+    clear_order_memo()
     clear_certificate_cache()
 
 
@@ -159,6 +161,90 @@ def _run_chase_columnar() -> None:
     run_march("columnar")
 
 
+# The Zipf-skewed join workload behind the chase-skewed family and the
+# benchmarks/bench_stats.py adaptive-vs-static ablation.  A cursor
+# marches around a ring; six rules share the body
+# ``Cur(x), B(x, y), C(x, y)``.  B's per-node buckets are Zipf-sized
+# (the hub node holds SKEW_HUB distractor rows, node i holds
+# ~SKEW_HUB/(i+1)) while C pairs every node with exactly one diagonal
+# row — but C's extent is padded with SKEW_FILLER never-joining rows so
+# it stays *larger* than B's.  The static order therefore tie-breaks
+# the two 1-bound atoms toward B (smaller extent) and wades through the
+# Zipf buckets, while the adaptive order reads the statistics — C's
+# expected bucket is 1, B's is its skewed average — and probes C first,
+# reducing each trigger enumeration to a membership check.
+
+SKEW_NODES = 16
+SKEW_HUB = 240
+SKEW_FILLER = 1000
+_SKEW_HEADS = 6
+_SKEW_B = Relation("B", 2)
+_SKEW_C = Relation("C", 2)
+_SKEW_NEXT = Relation("Next", 2)
+_SKEW_CUR = Relation("Cur", 1)
+_SKEW_SCHEMA = Schema(
+    [_SKEW_B, _SKEW_C, _SKEW_NEXT, _SKEW_CUR]
+    + [Relation(f"D{k}", 1) for k in range(1, _SKEW_HEADS + 1)]
+)
+SKEW_RULES = "\n".join(
+    [
+        f"Cur(x), B(x, y), C(x, y) -> D{k}(y)"
+        for k in range(1, _SKEW_HEADS + 1)
+    ]
+    + ["Cur(x), Next(x, y) -> Cur(y)"]
+)
+
+
+def skew_instance(
+    *,
+    nodes: int = SKEW_NODES,
+    hub: int = SKEW_HUB,
+    filler: int = SKEW_FILLER,
+    backend: str = "object",
+) -> Instance:
+    """The pinned Zipf-skew database (deterministic for fixed sizes)."""
+    facts = [Fact(_SKEW_CUR, (Const("v000"),))]
+    for i in range(nodes):
+        here = Const(f"v{i:03d}")
+        diag = Const(f"c{i:03d}")
+        facts.append(Fact(_SKEW_NEXT, (here, Const(f"v{(i + 1) % nodes:03d}"))))
+        facts.append(Fact(_SKEW_B, (here, diag)))
+        facts.append(Fact(_SKEW_C, (here, diag)))
+        for j in range(max(1, hub // (i + 1)) - 1):
+            facts.append(Fact(_SKEW_B, (here, Const(f"b{i:03d}_{j:03d}"))))
+    for j in range(filler):
+        facts.append(
+            Fact(_SKEW_C, (Const(f"u{j:04d}"), Const(f"w{j:04d}")))
+        )
+    return Instance.from_facts(_SKEW_SCHEMA, facts).with_backend(backend)
+
+
+def run_skew(order: str, *, nodes: int = SKEW_NODES, hub: int = SKEW_HUB,
+             filler: int = SKEW_FILLER, backend: str = "object") -> None:
+    """One full skew chase under ``order`` (naive strategy: every round
+    re-enumerates every Zipf bucket the atom order walks into)."""
+    deps = parse_tgds(SKEW_RULES, _SKEW_SCHEMA)
+    db = skew_instance(nodes=nodes, hub=hub, filler=filler, backend=backend)
+    if backend == "columnar":
+        db.columnar_kernel()
+    result = chase(
+        db, deps, strategy="naive", plan="compiled", order=order,
+        backend=backend, max_rounds=2 * nodes,
+    )
+    assert result.successful, "skew family must reach a fixpoint"
+    # nodes - 1 marching rounds, one trailing round deriving the last
+    # diagonal (the D rules precede the cursor rule in the sweep), one
+    # fixpoint-detection round.
+    assert result.rounds == nodes + 1, "skew cursor must visit every node"
+    for k in range(1, _SKEW_HEADS + 1):
+        derived = result.instance.tuples(f"D{k}")
+        assert len(derived) == nodes, "every diagonal must be derived"
+
+
+def _run_chase_skewed() -> None:
+    run_skew("adaptive")
+
+
 def _run_chase_full() -> None:
     deps = parse_tgds(_CHASE_FULL_RULES, _BINARY3)
     db = _instance(_BINARY3, _CHASE_FULL_DATA)
@@ -246,6 +332,12 @@ FAMILIES: dict[str, BenchFamily] = {
             "dense-bucket march chase on the columnar backend "
             "(naive re-enumeration over vectorizable pools)",
             _run_chase_columnar,
+        ),
+        BenchFamily(
+            "chase-skewed",
+            "Zipf-skewed join chase under order=adaptive "
+            "(statistics-driven atom ordering dodges the hub buckets)",
+            _run_chase_skewed,
         ),
     )
 }

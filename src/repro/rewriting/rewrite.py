@@ -175,7 +175,11 @@ class RewriteResult:
 
 
 def minimize_tgds(
-    tgds: Sequence[TGD], *, max_rounds: int | None = None
+    tgds: Sequence[TGD],
+    *,
+    max_rounds: int | None = None,
+    backend: str | None = None,
+    order: str | None = None,
 ) -> tuple[TGD, ...]:
     """Greedily drop members entailed by the remaining ones.
 
@@ -194,7 +198,10 @@ def minimize_tgds(
             rest = current[:index] + current[index + 1 :]
             if not rest:
                 break
-            if entails(rest, current[index], max_rounds=max_rounds).is_true:
+            if entails(
+                rest, current[index], max_rounds=max_rounds,
+                backend=backend, order=order,
+            ).is_true:
                 del current[index]
                 changed = True
     return tuple(current)
@@ -202,13 +209,16 @@ def minimize_tgds(
 
 def _subsumption_prune(
     max_rounds: int | None,
+    backend: str | None = None,
+    order: str | None = None,
 ) -> Callable[[TGD, Sequence[TGD]], bool]:
     """Skip candidates the accepted prefix already entails (they add no
     logical content; entailment transitivity keeps verification sound)."""
 
     def prune(candidate: TGD, accepted: Sequence[TGD]) -> bool:
         return bool(accepted) and entails(
-            accepted, candidate, max_rounds=max_rounds
+            accepted, candidate, max_rounds=max_rounds, backend=backend,
+            order=order,
         ).is_true
 
     return prune
@@ -256,6 +266,8 @@ def _short_circuit_result(
     minimize: bool,
     max_rounds: int | None,
     jobs: int,
+    backend: str | None = None,
+    order: str | None = None,
 ) -> RewriteResult:
     """SUCCESS without a search: the source already lies in the target
     class, so it is its own rewriting (only taken when no enumeration
@@ -269,7 +281,10 @@ def _short_circuit_result(
         rewriting = source
         if minimize:
             with span("rewrite.minimize"):
-                rewriting = minimize_tgds(source, max_rounds=max_rounds)
+                rewriting = minimize_tgds(
+                    source, max_rounds=max_rounds, backend=backend,
+                    order=order,
+                )
         if TELEMETRY.enabled:
             TELEMETRY.count("rewrite.short_circuit")
         sp.set(status=RewriteStatus.SUCCESS, short_circuit=True)
@@ -300,6 +315,8 @@ def _rewrite_with_candidates(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     search_budget: SearchBudget | None = None,
     prune_subsumed: bool = False,
+    backend: str | None = None,
+    order: str | None = None,
 ) -> RewriteResult:
     start = time.perf_counter()
     source = tuple(source)
@@ -320,12 +337,17 @@ def _rewrite_with_candidates(
         with span("rewrite.search"):
             outcome = run_search(
                 candidates,
-                EntailmentDecider(premises=source, max_rounds=max_rounds),
+                EntailmentDecider(
+                    premises=source, max_rounds=max_rounds,
+                    backend=backend, order=order,
+                ),
                 jobs=jobs,
                 chunk_size=chunk_size,
                 budget=search_budget,
                 prune=(
-                    _subsumption_prune(max_rounds) if prune_subsumed else None
+                    _subsumption_prune(max_rounds, backend, order)
+                    if prune_subsumed
+                    else None
                 ),
                 observe=observe,
             )
@@ -358,14 +380,16 @@ def _rewrite_with_candidates(
         if entailed:
             with span("rewrite.verify", entailed=len(entailed)):
                 back = entails_all(
-                    entailed, list(source), max_rounds=max_rounds
+                    entailed, list(source), max_rounds=max_rounds,
+                    backend=backend, order=order,
                 )
             if back.is_true:
                 rewriting = tuple(entailed)
                 if minimize:
                     with span("rewrite.minimize"):
                         rewriting = minimize_tgds(
-                            rewriting, max_rounds=max_rounds
+                            rewriting, max_rounds=max_rounds,
+                            backend=backend, order=order,
                         )
                 return finish(RewriteStatus.SUCCESS, rewriting)
             if not back.is_definite or unknown or outcome.exhausted:
@@ -387,6 +411,8 @@ def guarded_to_linear(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     search_budget: SearchBudget | None = None,
     prune_subsumed: bool = False,
+    backend: str | None = None,
+    order: str | None = None,
 ) -> RewriteResult:
     """Algorithm 1 (``G-to-L``): rewrite a guarded set into an equivalent
     linear set from ``LTGD_{n,m}``, or report ⊥.
@@ -417,6 +443,8 @@ def guarded_to_linear(
         chunk_size=chunk_size,
         search_budget=search_budget,
         prune_subsumed=prune_subsumed,
+        backend=backend,
+        order=order,
     )
 
 
@@ -432,6 +460,8 @@ def frontier_guarded_to_guarded(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     search_budget: SearchBudget | None = None,
     prune_subsumed: bool = False,
+    backend: str | None = None,
+    order: str | None = None,
 ) -> RewriteResult:
     """Algorithm 2 (``FG-to-G``): rewrite a frontier-guarded set into an
     equivalent guarded set from ``GTGD_{n,m}``, or report ⊥.
@@ -467,6 +497,8 @@ def frontier_guarded_to_guarded(
         chunk_size=chunk_size,
         search_budget=search_budget,
         prune_subsumed=prune_subsumed,
+        backend=backend,
+        order=order,
     )
 
 
@@ -481,6 +513,8 @@ def rewrite(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     search_budget: SearchBudget | None = None,
     prune_subsumed: bool = False,
+    backend: str | None = None,
+    order: str | None = None,
     **caps,
 ) -> RewriteResult:
     """Generic driver: rewrite into LINEAR, GUARDED, or FULL.
@@ -496,6 +530,12 @@ def rewrite(
     is returned as its own rewriting (``short_circuit=True`` on the
     result).  A capped call always searches — the caps ask whether the
     *restricted* space suffices, which the source may not answer.
+
+    ``backend`` and ``order`` select the fact-storage representation
+    and the join-ordering strategy of every chase behind the candidate,
+    verification and minimization entailment checks (``None`` → the
+    chase defaults).  Entailment verdicts — and hence the rewriting
+    found — are invariant in both knobs, under any ``jobs`` fan-out.
     """
     source = tuple(source)
     if target_class not in (
@@ -512,6 +552,8 @@ def rewrite(
             minimize=minimize,
             max_rounds=max_rounds,
             jobs=jobs,
+            backend=backend,
+            order=order,
         )
     schema = schema or _combined_schema(source)
     n, m = set_width(source)
@@ -543,6 +585,8 @@ def rewrite(
         chunk_size=chunk_size,
         search_budget=search_budget,
         prune_subsumed=prune_subsumed,
+        backend=backend,
+        order=order,
     )
 
 

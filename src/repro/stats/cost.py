@@ -1,0 +1,191 @@
+"""The selectivity cost model behind ``order="adaptive"``.
+
+Given the shape of a conjunction (argument positions holding either a
+slot number — a variable — or anything else — a constant, always
+bound) and a :class:`~repro.stats.relation.RelationStats` snapshot per
+atom, :func:`choose_order` picks the atom execution order minimizing
+the estimated number of candidate-row visits.
+
+Estimation mirrors what the plan executor actually does at each step:
+
+* a **fully bound** atom is a single membership probe — expected and
+  worst-case pool size 1;
+* an atom with **no bound position** scans the whole extent — pool
+  size ``rows``;
+* an atom with bound positions probes one bucket per bound position
+  and iterates the smallest — expected pool is the minimum *average*
+  bucket (``rows / distinct``), worst case the minimum *max* bucket.
+
+The cost of an order is the expected total number of row visits
+(candidates at step *k* multiplied by the expected partial-assignment
+count reaching *k*); the **guard bound** is the same sum under
+worst-case bucket sizes.  Callers fall back to the static reference
+order when the guard exceeds :data:`GUARD_CAP` — estimates built from
+averages can be wrong, and the worst-case sum is exactly how wrong
+they can get.
+
+Small bodies (the overwhelmingly common case: rule bodies in this
+codebase have 1–4 atoms) get an exact search over all permutations;
+larger conjunctions fall back to a greedy smallest-expected-pool
+order.  Everything here is pure and deterministic — no telemetry, no
+engine imports — so the homomorphism layer can memoize decisions on
+quantized stats fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from math import ceil
+from typing import Sequence
+
+from .relation import RelationStats
+
+__all__ = [
+    "GUARD_CAP",
+    "MISPREDICT_FACTOR",
+    "OrderDecision",
+    "choose_order",
+]
+
+GUARD_CAP = 250_000
+"""Worst-case candidate-row visits above which adaptive orders are
+abandoned in favour of the static reference order.  High enough that
+bound delta-driven matching (the chase hot path) never trips it, low
+enough that an estimate-driven cartesian blowup cannot cost more than
+a fraction of a second before the fallback."""
+
+MISPREDICT_FACTOR = 4
+"""An observed candidate pool more than this factor above its estimate
+counts as one ``plan.mispredictions`` — within the factor is the
+expected noise of uniformity assumptions (estimates are quantized by
+the fingerprint memo, so a factor of 2 is already reachable by cache
+staleness alone)."""
+
+_EXHAUSTIVE_LIMIT = 5
+"""Bodies up to this many atoms get exact permutation search (≤120
+candidate orders); beyond it the greedy order is used."""
+
+# An atom prepared for costing: its stats snapshot plus the argument
+# signature (ints are variable slots, everything else is a constant).
+_CostAtom = tuple[RelationStats, tuple[object, ...]]
+
+
+@dataclass(frozen=True)
+class OrderDecision:
+    """The outcome of a :func:`choose_order` call.
+
+    ``order`` lists atom indices in execution order; ``estimates`` the
+    expected candidate-pool size per step (aligned with ``order``,
+    integer-ceiled, ≥ 1) — what the executor compares actual fan-outs
+    against to count mispredictions.  ``cost`` and ``worst`` are the
+    expected and worst-case total row visits; ``guarded`` callers must
+    fall back to the static order.
+    """
+
+    order: tuple[int, ...]
+    estimates: tuple[int, ...]
+    cost: float
+    worst: float
+
+    @property
+    def guarded(self) -> bool:
+        return self.worst > GUARD_CAP
+
+
+def _estimate(
+    stats: RelationStats,
+    args: tuple[object, ...],
+    bound: frozenset[int] | set[int],
+) -> tuple[float, float]:
+    """(expected, worst-case) candidate-pool size for one atom."""
+    expected_best: float | None = None
+    worst_best: float | None = None
+    unbound = 0
+    for pos, arg in enumerate(args):
+        if isinstance(arg, int) and arg not in bound:
+            unbound += 1
+            continue
+        expected = stats.expected_bucket(pos)
+        worst = float(stats.max_bucket[pos])
+        if expected_best is None or expected < expected_best:
+            expected_best = expected
+        if worst_best is None or worst < worst_best:
+            worst_best = worst
+    if not unbound:
+        # Fully determined (including arity-0 atoms): one membership
+        # probe, at most one candidate.
+        return (1.0, 1.0)
+    if expected_best is None or worst_best is None:
+        # No bound position: the step scans the whole extent.
+        return (float(stats.rows), float(stats.rows))
+    return (expected_best, worst_best)
+
+
+def _evaluate(
+    order: Sequence[int],
+    atoms: Sequence[_CostAtom],
+    bound_slots: frozenset[int],
+) -> OrderDecision:
+    """Cost one candidate execution order."""
+    bound = set(bound_slots)
+    cost = 0.0
+    worst_total = 0.0
+    expected_partials = 1.0
+    worst_partials = 1.0
+    estimates: list[int] = []
+    for index in order:
+        stats, args = atoms[index]
+        expected, worst = _estimate(stats, args, bound)
+        cost += expected_partials * expected
+        worst_total += worst_partials * worst
+        estimates.append(max(1, ceil(expected)))
+        expected_partials *= expected
+        worst_partials *= max(worst, 1.0)
+        for arg in args:
+            if isinstance(arg, int):
+                bound.add(arg)
+    return OrderDecision(
+        tuple(order), tuple(estimates), cost, worst_total
+    )
+
+
+def choose_order(
+    atoms: Sequence[_CostAtom],
+    bound_slots: frozenset[int],
+) -> OrderDecision:
+    """The minimum-estimated-cost execution order for a conjunction.
+
+    Exact (all permutations) for bodies of up to
+    :data:`_EXHAUSTIVE_LIMIT` atoms, greedy smallest-expected-pool
+    beyond.  Deterministic: ties resolve to the lexicographically
+    first order, so the same shape, bound set and statistics always
+    yield the same decision (and hence the same plan-cache key).
+    """
+    count = len(atoms)
+    if count <= 1:
+        return _evaluate(range(count), atoms, bound_slots)
+    if count <= _EXHAUSTIVE_LIMIT:
+        best: OrderDecision | None = None
+        for order in permutations(range(count)):
+            decision = _evaluate(order, atoms, bound_slots)
+            if best is None or decision.cost < best.cost:
+                best = decision
+        assert best is not None
+        return best
+    # Greedy: repeatedly take the atom with the smallest expected pool
+    # under the bindings accumulated so far (ties: textual order).
+    bound = set(bound_slots)
+    remaining = list(range(count))
+    order: list[int] = []
+    while remaining:
+        chosen = min(
+            remaining,
+            key=lambda i: (_estimate(atoms[i][0], atoms[i][1], bound)[0], i),
+        )
+        remaining.remove(chosen)
+        order.append(chosen)
+        for arg in atoms[chosen][1]:
+            if isinstance(arg, int):
+                bound.add(arg)
+    return _evaluate(order, atoms, bound_slots)

@@ -120,6 +120,10 @@ def summarize_events(events: Iterator[dict[str, Any]]) -> str:
             lines.append(f"  {name:<42} {value:>12}")
         for name, value in sorted(gauges.items()):
             lines.append(f"  {name:<42} {value:>12g}")
+    cache_section = _plan_cache_section(counters)
+    if cache_section:
+        lines.append("")
+        lines.extend(cache_section)
     if histograms:
         lines.append("")
         lines.append(
@@ -136,6 +140,31 @@ def summarize_events(events: Iterator[dict[str, Any]]) -> str:
                 f"{format_observation(name, maximum):>9}"
             )
     return "\n".join(lines)
+
+
+def _plan_cache_section(counters: dict[str, int]) -> list[str]:
+    """Derived plan-cache health figures, from trace counters alone.
+
+    The cache itself is process-local and long gone when a trace is
+    analyzed offline, but its life story is fully determined by the
+    ``hom.plan_*`` counters: every compile inserted one entry and every
+    eviction removed one, so occupancy is their difference, and the hit
+    ratio is hits over total lookups (hits + compiles)."""
+    hits = counters.get("hom.plan_hits", 0)
+    compiles = counters.get("hom.plan_compiles", 0)
+    evictions = counters.get("hom.plan_evictions", 0)
+    lookups = hits + compiles
+    if not lookups and not evictions:
+        return []
+    lines = [f"  {'plan cache':<42} {'value':>12}"]
+    lines.append(f"  {'occupancy (compiles - evictions)':<42} "
+                 f"{compiles - evictions:>12}")
+    lines.append(f"  {'lookups':<42} {lookups:>12}")
+    if lookups:
+        lines.append(f"  {'hit ratio':<42} {hits / lookups:>12.1%}")
+        lines.append(f"  {'compile ratio':<42} {compiles / lookups:>12.1%}")
+        lines.append(f"  {'eviction ratio':<42} {evictions / lookups:>12.1%}")
+    return lines
 
 
 def summarize_jsonl(path: str | Path) -> str:

@@ -104,14 +104,23 @@ def _random_scenario(
 
 
 def assert_strategies_agree(instance, deps, *, variant="restricted"):
-    """The core differential assertion, now a 2×2×2 grid: both fact
-    backends (object reference vs columnar interned store) crossed with
-    both evaluation strategies and both homomorphism-search plan modes
-    (interpreted reference vs compiled join plans).  All eight runs must
-    be bit-for-bit equal — same facts, same null numbering, same
-    statistics.  (Under ``plan="interpreted"`` the columnar backend
-    exercises its decoded probe interface rather than the ID-level
-    executor; both cells are part of the contract.)"""
+    """The core differential assertion, now a 2×2×2 grid plus an order
+    axis: both fact backends (object reference vs columnar interned
+    store) crossed with both evaluation strategies and both
+    homomorphism-search plan modes (interpreted reference vs compiled
+    join plans).  All eight static-order runs must be bit-for-bit equal
+    — same facts, same null numbering, same statistics.  (Under
+    ``plan="interpreted"`` the columnar backend exercises its decoded
+    probe interface rather than the ID-level executor; both cells are
+    part of the contract.)
+
+    The adaptive cells (``order="adaptive"``, compiled plans only, both
+    backends × both strategies) get the contract the order mode
+    documents: tgd-only chases are still bit-identical to the reference
+    — the canonical trigger sort erases the enumeration-stream
+    difference — while egd-bearing chases only promise the same verdict
+    (failed / terminated) and an isomorphic result, because the
+    first-violation merge search follows the stream order."""
     reference = None
     for backend in ("object", "columnar"):
         for strategy in ("naive", "seminaive"):
@@ -138,6 +147,33 @@ def assert_strategies_agree(instance, deps, *, variant="restricted"):
     # (``result`` is the last grid cell: columnar, seminaive, compiled).
     if reference.instance.fact_count() <= ISO_FACT_CAP:
         assert are_isomorphic(result.instance, reference.instance)
+    has_egds = any(isinstance(dep, EGD) for dep in deps)
+    for backend in ("object", "columnar"):
+        for strategy in ("naive", "seminaive"):
+            adaptive = chase(
+                instance, deps, variant=variant, strategy=strategy,
+                plan="compiled", order="adaptive", backend=backend,
+                max_rounds=MAX_ROUNDS, max_facts=MAX_FACTS,
+            )
+            label = f"{backend}/{strategy}/compiled/adaptive"
+            assert adaptive.failed == reference.failed, label
+            assert adaptive.terminated == reference.terminated, label
+            if not has_egds:
+                assert adaptive.stop_reason == reference.stop_reason, label
+                assert adaptive.rounds == reference.rounds, label
+                assert adaptive.fired == reference.fired, label
+                assert (
+                    adaptive.nulls_created == reference.nulls_created
+                ), label
+                assert adaptive.instance == reference.instance, label
+            elif (
+                not adaptive.failed
+                and reference.instance.fact_count() <= ISO_FACT_CAP
+                and adaptive.instance.fact_count() <= ISO_FACT_CAP
+            ):
+                assert are_isomorphic(
+                    adaptive.instance, reference.instance
+                ), label
     return reference
 
 
@@ -447,3 +483,77 @@ class TestStrategyApi:
                 parse_tgds("P(x) -> P(x)", schema),
                 plan="vectorized",
             )
+
+    def test_unknown_order_rejected(self):
+        schema = Schema.of(("P", 1),)
+        with pytest.raises(ChaseError, match="order mode"):
+            chase(
+                Instance.parse("P(a)", schema),
+                parse_tgds("P(x) -> P(x)", schema),
+                order="zigzag",
+            )
+
+    def test_adaptive_requires_compiled_plans(self):
+        schema = Schema.of(("P", 1),)
+        with pytest.raises(ChaseError, match="plan='compiled'"):
+            chase(
+                Instance.parse("P(a)", schema),
+                parse_tgds("P(x) -> P(x)", schema),
+                plan="interpreted", order="adaptive",
+            )
+
+    def test_order_modes_exported(self):
+        from repro.homomorphisms.plans import DEFAULT_ORDER, ORDER_MODES
+
+        assert ORDER_MODES == ("static", "adaptive")
+        assert DEFAULT_ORDER == "static"
+
+
+class TestOrderAxis:
+    """The adaptive-order half of the differential contract that the
+    grid sweep cannot see: entailment verdicts and the telemetry the
+    perf gate keys on."""
+
+    def test_entailment_verdicts_invariant_in_order(self):
+        from repro.entailment import ENTAILMENT_CACHE
+        from repro.entailment.implication import entails
+
+        schema = Schema.of(("E", 2), ("R", 2))
+        premises = tuple(parse_tgds(
+            "E(x, y) -> R(x, y)\nR(x, y), E(y, z) -> R(x, z)", schema
+        ))
+        candidates = parse_tgds(
+            "E(x, y), E(y, z) -> R(x, z)\n"   # entailed
+            "R(x, y) -> E(x, y)\n"            # not entailed
+            "E(x, y) -> exists w . R(y, w)",  # not entailed
+            schema,
+        )
+        verdicts = {}
+        for order in (None, "static", "adaptive"):
+            for backend in (None, "columnar"):
+                ENTAILMENT_CACHE.clear()
+                got = tuple(
+                    entails(premises, cand, order=order, backend=backend,
+                            cache=False)
+                    for cand in candidates
+                )
+                verdicts.setdefault(got, []).append((order, backend))
+        assert len(verdicts) == 1, verdicts
+
+    def test_adaptive_chase_records_telemetry(self):
+        schema = Schema.of(("E", 2), ("R", 2))
+        deps = parse_tgds("E(x, y), E(y, z) -> R(x, z)", schema)
+        instance = Instance.parse(
+            "E(a, b). E(b, c). E(c, d). E(a, c)", schema
+        )
+        TELEMETRY.reset()
+        TELEMETRY.enable(spans=False)
+        try:
+            chase(instance, deps, plan="compiled", order="adaptive",
+                  max_rounds=4)
+            counters = TELEMETRY.snapshot()
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+        assert counters.get("plan.order_adaptive", 0) > 0
+        assert counters.get("plan.guard_fallbacks", 0) == 0
