@@ -159,3 +159,58 @@ def test_gated_path_memoizes_the_analysis():
     assert dropped == calls * 3  # every call dropped its budget
     assert gated_builds < legacy_builds
     assert legacy_builds >= calls * 3  # one rebuild per legacy call
+
+
+# --- semantic certificates (MSA / MFA) vs budgeted fallback -----------
+
+from repro.analysis import clear_semantic_cache, mfa_report, msa_report
+from repro.analysis.certificates import default_budget
+from repro.perf.families import MFA_BENCH_MFA_RULES, MFA_BENCH_MSA_RULES
+
+MSA_SET = parse_tgds(
+    MFA_BENCH_MSA_RULES, Schema.of(("A", 1), ("R", 2), ("S", 2), ("C", 1))
+)
+MFA_SET = parse_tgds(
+    MFA_BENCH_MFA_RULES,
+    Schema.of(("A", 1), ("R", 2), ("I", 1), ("G", 1), ("T", 2)),
+)
+
+
+def test_msa_check_cost(benchmark):
+    """The summarised critical-instance chase, cold every repeat."""
+
+    def check():
+        clear_semantic_cache()
+        return msa_report(MSA_SET).acyclic
+
+    assert benchmark(check) is True
+
+
+def test_mfa_check_cost(benchmark):
+    """The faithful (monitored) chase on the MFA-only set, cold."""
+
+    def check():
+        clear_semantic_cache()
+        return mfa_report(MFA_SET).acyclic
+
+    assert benchmark(check) is True
+
+
+def test_semantic_tier_drops_the_budget():
+    """The ablation's point: with the semantic tiers in the lattice the
+    engines chase these sets to a definitive fixpoint (budget ``None``);
+    the legacy weak-acyclicity-only path keeps the round budget and
+    leaves verdicts at UNKNOWN."""
+    clear_certificate_cache()
+    clear_semantic_cache()
+    for sigma, label in ((MSA_SET, "msa"), (MFA_SET, "mfa")):
+        with certificate_gating(True):
+            gated = default_budget(sigma, 12)
+        with certificate_gating(False):
+            legacy = default_budget(sigma, 12)
+        record(
+            f"default budget[{label} set]",
+            "gated None vs legacy 12",
+            (gated, legacy),
+        )
+        assert gated is None and legacy == 12

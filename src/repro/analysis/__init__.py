@@ -1,11 +1,14 @@
 """repro.analysis — static analysis of dependency sets.
 
 The subsystem behind ``repro lint``: explained fragment membership
-(:mod:`.fragments`), termination certificates beyond weak acyclicity
-(:mod:`.acyclicity`, :mod:`.certificates`), rule-set hygiene
+(:mod:`.fragments`), termination certificates beyond weak acyclicity —
+syntactic (:mod:`.acyclicity`) and chase-based semantic MSA/MFA
+(:mod:`.semantic`) tiers joined in :mod:`.certificates` — the shared
+rule dependency graph (:mod:`.depgraph`), rule-set hygiene
 (:mod:`.hygiene`), egd/denial stratification (:mod:`.stratification`),
-the deterministic lint driver (:mod:`.lint`), and the text/JSON/SARIF
-renderers (:mod:`.sarif`).
+the entailment-backed deep lint (:mod:`.deep`), the deterministic lint
+driver (:mod:`.lint`), and the text/JSON/SARIF renderers
+(:mod:`.sarif`).
 
 The certificate layer is also the engines' budget gate:
 ``entails`` / ``certain_answer`` / the ontology layer ask
@@ -32,6 +35,13 @@ from .certificates import (
     guarantees_termination,
     set_certificate_gating,
 )
+from .deep import (
+    deep_diagnostics,
+    escalated_subsumption_diagnostics,
+    loop_restriction_diagnostics,
+    semantic_reachability_diagnostics,
+)
+from .depgraph import DepGraph, clear_depgraph_cache, depgraph_for
 from .diagnostics import Diagnostic, Severity, sort_diagnostics, worst_severity
 from .fragments import (
     FragmentExplanation,
@@ -42,34 +52,55 @@ from .fragments import (
 from .hygiene import hygiene_diagnostics
 from .lint import LintReport, run_lint
 from .sarif import render_json, render_sarif, render_text, sarif_payload
+from .semantic import (
+    SemanticReport,
+    clear_semantic_cache,
+    is_mfa,
+    is_msa,
+    mfa_report,
+    msa_report,
+)
 from .stratification import stratification_diagnostics
 
 __all__ = [
     "AcyclicityReport",
     "Certificate",
     "CertificateReport",
+    "DepGraph",
     "Diagnostic",
     "FragmentExplanation",
     "LintReport",
+    "SemanticReport",
     "Severity",
     "certificate_for",
     "certificate_gating",
     "certificate_gating_enabled",
     "clear_certificate_cache",
+    "clear_depgraph_cache",
+    "clear_semantic_cache",
+    "deep_diagnostics",
     "default_budget",
+    "depgraph_for",
+    "escalated_subsumption_diagnostics",
     "explain_fragment",
     "explain_fragments",
     "fragment_diagnostics",
     "guarantees_termination",
     "hygiene_diagnostics",
     "is_jointly_acyclic",
+    "is_mfa",
+    "is_msa",
     "is_super_weakly_acyclic",
     "joint_acyclicity_report",
+    "loop_restriction_diagnostics",
+    "mfa_report",
+    "msa_report",
     "render_json",
     "render_sarif",
     "render_text",
     "run_lint",
     "sarif_payload",
+    "semantic_reachability_diagnostics",
     "set_certificate_gating",
     "sort_diagnostics",
     "stratification_diagnostics",

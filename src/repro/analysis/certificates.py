@@ -2,9 +2,17 @@
 
 A *certificate* is a static guarantee that every chase sequence over a
 dependency set terminates.  The lattice, strongest first (each class is
-strictly contained in the next):
+strictly contained in the next, except MSA ⊆ MFA where strictness
+holds but the containment is what gating relies on):
 
-    WEAK_ACYCLICITY ⊊ JOINT_ACYCLICITY ⊊ SUPER_WEAK_ACYCLICITY ⊊ (none)
+    WEAK_ACYCLICITY ⊊ JOINT_ACYCLICITY ⊊ SUPER_WEAK_ACYCLICITY
+        ⊊ MODEL_SUMMARISING ⊆ MODEL_FAITHFUL ⊊ (none)
+
+The first three tiers are syntactic (position/place flow analyses in
+:mod:`repro.analysis.acyclicity`); the last two are *semantic* — they
+Skolemize the rules and chase the 1-critical instance under a cycle
+monitor (:mod:`repro.analysis.semantic`), which certifies strictly
+more sets (e.g. joins the place analysis cannot see to be vacuous).
 
 :func:`certificate_for` returns the strongest certificate that applies,
 plus a concrete cycle witness when none does.  Reports are memoized on
@@ -28,8 +36,10 @@ exactly, so engine results are bit-identical either way (asserted by
 **Soundness with constraints.**  Weak acyclicity certifies tgd+egd
 sets (Fagin et al.); the joint and super-weak refinements are proven
 for tgds only, so in the presence of egds they are *reported* but not
-used to drop budgets.  Denial constraints never create facts and are
-always safe.
+used to drop budgets.  The semantic MSA/MFA checks are likewise proven
+for tgds only and are additionally *skipped* (not merely unscoped)
+when egds are present — their Skolem chase does not model egd merges.
+Denial constraints never create facts and are always safe.
 """
 
 from __future__ import annotations
@@ -69,6 +79,8 @@ class Certificate(enum.Enum):
     WEAK_ACYCLICITY = "weak-acyclicity"
     JOINT_ACYCLICITY = "joint-acyclicity"
     SUPER_WEAK_ACYCLICITY = "super-weak-acyclicity"
+    MODEL_SUMMARISING_ACYCLICITY = "model-summarising-acyclicity"
+    MODEL_FAITHFUL_ACYCLICITY = "model-faithful-acyclicity"
     NONE = "none"
 
     def __str__(self) -> str:
@@ -81,7 +93,8 @@ class Certificate(enum.Enum):
 
     def implies(self, other: "Certificate") -> bool:
         """Class containment: a set certified at ``self`` is also in
-        every weaker class (``weak ⊂ joint ⊂ super-weak``)."""
+        every weaker class (``weak ⊂ joint ⊂ super-weak ⊂ msa ⊆
+        mfa``)."""
         return self.strength <= other.strength
 
 
@@ -89,7 +102,9 @@ _STRENGTH = {
     Certificate.WEAK_ACYCLICITY: 0,
     Certificate.JOINT_ACYCLICITY: 1,
     Certificate.SUPER_WEAK_ACYCLICITY: 2,
-    Certificate.NONE: 3,
+    Certificate.MODEL_SUMMARISING_ACYCLICITY: 3,
+    Certificate.MODEL_FAITHFUL_ACYCLICITY: 4,
+    Certificate.NONE: 5,
 }
 
 
@@ -192,6 +207,25 @@ def _analyze(tgds: Sequence[TGD], tgd_only: bool) -> CertificateReport:
         return CertificateReport(
             Certificate.SUPER_WEAK_ACYCLICITY, None, tgd_only
         )
+    # The semantic tiers chase the critical instance of the *tgds*; an
+    # egd could merge terms the Skolem chase keeps apart, so they are
+    # only attempted for tgd-only sets (where they can gate budgets).
+    if tgd_only:
+        from .semantic import mfa_report, msa_report
+
+        msa = msa_report(tgds)
+        if msa.acyclic is True:
+            return CertificateReport(
+                Certificate.MODEL_SUMMARISING_ACYCLICITY, None, tgd_only
+            )
+        mfa = mfa_report(tgds)
+        if mfa.acyclic is True:
+            return CertificateReport(
+                Certificate.MODEL_FAITHFUL_ACYCLICITY, None, tgd_only
+            )
+    # No certificate: keep the super-weak trigger cycle as the witness
+    # (the semantic checks' failure is a concrete cyclic term, but the
+    # place-level cycle is the witness every existing consumer pins).
     return CertificateReport(Certificate.NONE, super_weak.cycle, tgd_only)
 
 

@@ -103,51 +103,21 @@ def unused_variable_diagnostics(
     return tuple(diagnostics)
 
 
-def _predicate_graph(
-    dependencies: Sequence[object],
-) -> tuple[list[str], set[str], set[str]]:
-    """All predicates (first-seen order), the extensional ones (never in
-    a tgd head), and the reachable ones (extensional closed under rule
-    application)."""
-    order: list[str] = []
-    seen: set[str] = set()
-    derived: set[str] = set()
-    for dep in dependencies:
-        for atom in _body_of(dep):
-            if atom.relation.name not in seen:
-                seen.add(atom.relation.name)
-                order.append(atom.relation.name)
-        for atom in getattr(dep, "head", ()):
-            derived.add(atom.relation.name)
-            if atom.relation.name not in seen:
-                seen.add(atom.relation.name)
-                order.append(atom.relation.name)
-    extensional = {name for name in order if name not in derived}
-    reachable = set(extensional)
-    changed = True
-    while changed:
-        changed = False
-        for dep in dependencies:
-            if not isinstance(dep, TGD):
-                continue
-            if not all(
-                atom.relation.name in reachable for atom in dep.body
-            ):
-                continue
-            for atom in dep.head:
-                if atom.relation.name not in reachable:
-                    reachable.add(atom.relation.name)
-                    changed = True
-    return order, extensional, reachable
-
-
 def reachability_diagnostics(
     dependencies: Sequence[object],
 ) -> tuple[Diagnostic, ...]:
-    """``H002`` per unreachable predicate, ``H003`` per dead rule."""
+    """``H002`` per unreachable predicate, ``H003`` per dead rule.
+
+    Both read the shared (memoized) dependency graph of
+    :mod:`repro.analysis.depgraph` — predicate order, the extensional
+    schema, and the AND-closure reachability used to live here as an
+    ad-hoc rebuild."""
+    from .depgraph import depgraph_for
+
     deps = list(dependencies)
-    order, extensional, reachable = _predicate_graph(deps)
-    if not extensional:
+    graph = depgraph_for(deps)
+    order, reachable = graph.predicates, graph.reachable
+    if not graph.extensional:
         return ()
     diagnostics = [
         Diagnostic(

@@ -6,8 +6,9 @@ return one canonical, deterministic report.
 * per rule: fragment-membership explanations
   (:mod:`repro.analysis.fragments`) and unused-variable hygiene;
 * per set: reachability hygiene, entailment-backed subsumption,
-  egd/denial stratification, and the termination-certificate lattice
-  (codes ``T001``–``T003``);
+  egd/denial stratification, the termination-certificate lattice
+  (codes ``T001``–``T003``), and — behind ``deep=True`` — the
+  engine-backed deep pass (``D001``–``D003``, ``L001``);
 
 — and sorts the union with
 :func:`repro.analysis.diagnostics.sort_diagnostics`.  The per-rule
@@ -26,7 +27,14 @@ from typing import Sequence
 from ..dependencies.tgd import TGD
 from ..telemetry import span
 from .certificates import Certificate, CertificateReport, certificate_for
-from .diagnostics import Diagnostic, Severity, sort_diagnostics, worst_severity
+from .deep import deep_diagnostics
+from .diagnostics import (
+    _SEVERITY_RANK,
+    Diagnostic,
+    Severity,
+    sort_diagnostics,
+    worst_severity,
+)
 from .fragments import fragment_diagnostics
 from .hygiene import (
     reachability_diagnostics,
@@ -55,7 +63,16 @@ class LintReport:
     @property
     def exit_code(self) -> int:
         """1 when any error-severity finding is present, else 0."""
-        return 1 if self.worst is Severity.ERROR else 0
+        return self.exit_code_for("error")
+
+    def exit_code_for(self, fail_on: str) -> int:
+        """1 when the worst finding is at or above ``fail_on``
+        (``"error"``, ``"warning"``, or ``"info"``), else 0."""
+        threshold = _SEVERITY_RANK[Severity(fail_on)]
+        worst = self.worst
+        if worst is None:
+            return 0
+        return 1 if _SEVERITY_RANK[worst] <= threshold else 0
 
 
 def certificate_diagnostics(
@@ -128,12 +145,15 @@ def run_lint(
     *,
     jobs: int = 1,
     entailment: bool = True,
+    deep: bool = False,
 ) -> LintReport:
     """Lint a dependency set.
 
     ``jobs > 1`` parallelizes the per-rule passes; ``entailment=False``
     skips the chase-backed subsumption pass (the only potentially
-    expensive one).
+    expensive one).  ``deep=True`` adds the engine-backed findings of
+    :mod:`repro.analysis.deep` (``D001``–``D003``, ``L001``) — exact
+    but costlier, hence opt-in.
     """
     deps = list(dependencies)
     payloads = list(enumerate(deps))
@@ -152,6 +172,8 @@ def run_lint(
         if entailment:
             diagnostics.extend(subsumption_diagnostics(deps))
         diagnostics.extend(stratification_diagnostics(deps))
+        if deep:
+            diagnostics.extend(deep_diagnostics(deps, entailment=entailment))
         certificate = certificate_for(deps)
         diagnostics.extend(certificate_diagnostics(certificate))
     return LintReport(

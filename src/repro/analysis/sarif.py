@@ -37,6 +37,10 @@ _RULE_DESCRIPTIONS = {
     "H003": "Hygiene: dead rule",
     "H004": "Hygiene: subsumed rule",
     "H005": "Hygiene: redundant rule",
+    "D001": "Deep: semantically dead predicate",
+    "D002": "Deep: subsumed rule (escalated budget)",
+    "D003": "Deep: redundant rule (escalated budget)",
+    "L001": "Rewritability: loop-restricted rule set",
     "S001": "Stratification: egd over derived predicates",
     "S002": "Stratification: denial constraint over derived predicates",
     "T001": "Termination: certificate found",

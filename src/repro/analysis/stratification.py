@@ -24,7 +24,7 @@ from typing import Sequence
 
 from ..dependencies.denial import DenialConstraint
 from ..dependencies.egd import EGD
-from ..dependencies.tgd import TGD
+from .depgraph import depgraph_for
 from .diagnostics import Diagnostic, Severity
 
 __all__ = ["stratification_diagnostics"]
@@ -34,11 +34,9 @@ def stratification_diagnostics(
     dependencies: Sequence[object],
 ) -> tuple[Diagnostic, ...]:
     deps = list(dependencies)
-    derived_by: dict[str, int] = {}
-    for index, dep in enumerate(deps):
-        if isinstance(dep, TGD):
-            for atom in dep.head:
-                derived_by.setdefault(atom.relation.name, index)
+    # The first-deriving-rule map comes from the shared dependency
+    # graph (memoized per rule set) rather than a local rebuild.
+    derived_by = depgraph_for(deps).derived_by
     diagnostics = []
     for index, dep in enumerate(deps):
         if isinstance(dep, EGD):

@@ -1,6 +1,14 @@
 """The chase and its termination analysis."""
 
-from .engine import STRATEGIES, ChaseError, ChaseResult, StopReason, chase
+from .engine import (
+    STRATEGIES,
+    ChaseError,
+    ChaseMonitorStop,
+    ChaseResult,
+    Inventor,
+    StopReason,
+    chase,
+)
 from .provenance import Firing, TracedChaseResult, explain, traced_chase
 from .termination import (
     WeakAcyclicityReport,
@@ -10,7 +18,8 @@ from .termination import (
 )
 
 __all__ = [
-    "STRATEGIES", "ChaseError", "ChaseResult", "StopReason", "chase",
+    "STRATEGIES", "ChaseError", "ChaseMonitorStop", "ChaseResult",
+    "Inventor", "StopReason", "chase",
     "Firing", "TracedChaseResult", "explain", "traced_chase",
     "WeakAcyclicityReport", "is_weakly_acyclic", "position_graph",
     "weak_acyclicity_report",

@@ -41,7 +41,7 @@ termination guarantee.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Mapping, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence, Union
 
 from ..dependencies.denial import DenialConstraint
 from ..dependencies.egd import EGD
@@ -60,16 +60,34 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..telemetry.report import RunReport
 
 __all__ = [
-    "ChaseResult", "ChaseError", "StopReason", "chase", "STRATEGIES",
+    "ChaseResult", "ChaseError", "ChaseMonitorStop", "StopReason",
+    "chase", "Inventor", "STRATEGIES",
 ]
 
 Dependency = Union[TGD, EGD, DenialConstraint]
 
 STRATEGIES = ("seminaive", "naive")
 
+# A pluggable term inventor: called once per existential variable of a
+# firing trigger with (tgd, variable, assignment-so-far) and returns the
+# domain element to substitute.  The default (None) invents fresh
+# labeled nulls; repro.analysis.semantic plugs in Skolem-term builders
+# whose cycle monitors abort the run by raising ChaseMonitorStop.
+Inventor = Callable[[TGD, Var, Mapping[Var, object]], object]
+
 
 class ChaseError(ValueError):
     """Raised on invalid chase configuration."""
+
+
+class ChaseMonitorStop(Exception):
+    """Raised by an :data:`Inventor` to abort the chase.
+
+    The engine converts it into a clean non-terminated result with
+    ``stop_reason == StopReason.MONITOR`` — the seam the chase-based
+    acyclicity analyses (MSA/MFA) use to stop as soon as their cycle
+    monitor finds a Skolem function nested inside itself.
+    """
 
 
 class StopReason:
@@ -80,9 +98,10 @@ class StopReason:
     FACT_BUDGET = "fact_budget"
     EGD_FAILURE = "egd_failure"
     DENIAL_VIOLATION = "denial_violation"
+    MONITOR = "monitor"
 
     ALL = (FIXPOINT, ROUND_BUDGET, FACT_BUDGET, EGD_FAILURE,
-           DENIAL_VIOLATION)
+           DENIAL_VIOLATION, MONITOR)
 
 
 @dataclass(frozen=True)
@@ -404,13 +423,19 @@ def _fire_tgd(
     tgd: TGD,
     trigger: dict[Var, object],
     nulls: FreshNulls,
+    inventor: Inventor | None = None,
 ) -> tuple[int, int]:
     """Add the head image for a trigger; returns (facts_added, nulls_used)."""
     assignment = dict(trigger)
     created = 0
-    for var in tgd.existential_variables:
-        assignment[var] = nulls()
-        created += 1
+    if inventor is None:
+        for var in tgd.existential_variables:
+            assignment[var] = nulls()
+            created += 1
+    else:
+        for var in tgd.existential_variables:
+            assignment[var] = inventor(tgd, var, assignment)
+            created += 1
     added = 0
     for atom in tgd.head:
         tup = tuple(assignment[arg] for arg in atom.args)  # type: ignore[index]
@@ -469,6 +494,7 @@ def chase(
     plan: str | None = None,
     backend: str = DEFAULT_BACKEND,
     order: str | None = None,
+    inventor: Inventor | None = None,
 ) -> ChaseResult:
     """Chase ``instance`` with tgds and egds.
 
@@ -519,6 +545,16 @@ def chase(
     egds the result is isomorphic rather than equal, because the
     first-violation search is enumeration-order dependent.
     ``order="adaptive"`` requires ``plan="compiled"``.
+
+    ``inventor`` overrides the invention of existential witnesses: a
+    callable ``(tgd, variable, assignment) -> element`` consulted once
+    per existential variable of each firing trigger, in place of fresh
+    labeled nulls.  This is the monitored-chase seam of the semantic
+    acyclicity analyses (:mod:`repro.analysis.semantic`): an inventor
+    may raise :class:`ChaseMonitorStop` to abort the run, which the
+    engine reports as a clean ``StopReason.MONITOR`` result.  The
+    default ``None`` is the reference fresh-null path, bit-identical to
+    every release before the seam existed.
     """
     deps = sorted(dependencies, key=str)
     if variant not in ("restricted", "oblivious"):
@@ -564,6 +600,8 @@ def chase(
         "max_facts": max_facts,
         "dependencies": len(deps),
     }
+    if inventor is not None:
+        config["monitored"] = True
     schema = _combined_schema(instance, deps)
     state: _State | ColumnarState
     if backend == "columnar":
@@ -658,9 +696,14 @@ def chase(
                                 order=order,
                             ):
                                 continue
-                        added, created = _fire_tgd(
-                            state, dep, trigger, nulls
-                        )
+                        try:
+                            added, created = _fire_tgd(
+                                state, dep, trigger, nulls, inventor
+                            )
+                        except ChaseMonitorStop:
+                            return finish(
+                                False, False, StopReason.MONITOR
+                            )
                         fired += 1
                         nulls_created += created
                         if TELEMETRY.enabled:

@@ -47,9 +47,12 @@ Exit codes:
   reached a fixpoint without failing, ``rewrite`` succeeded,
   ``entails`` produced a definitive verdict, ``stats`` parsed the file)
 * ``1`` — definitive negative: the chase failed on a constraint, the
-  rewriting target class is unreachable (⊥ or inconclusive), or the
-  trace file was unreadable/malformed
-* ``2`` — undecided: ``entails`` exhausted its chase budget (UNKNOWN)
+  rewriting target class is unreachable (⊥ or inconclusive), the trace
+  file was unreadable/malformed, or ``lint`` found a diagnostic at or
+  above its ``--fail-on`` threshold (default ``error``) — regardless
+  of output format
+* ``2`` — undecided: ``entails`` exhausted its chase budget (UNKNOWN);
+  also ``lint`` on an unreadable or unparseable rules file
 
 argparse itself exits with ``2`` on usage errors and ``0`` for
 ``--help`` / ``--version``.
@@ -289,9 +292,18 @@ def _cmd_separations(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    deps, lines = _load_dependencies_with_lines(args.rules)
+    try:
+        deps, lines = _load_dependencies_with_lines(args.rules)
+    except SystemExit:
+        raise
+    except (OSError, ValueError) as exc:
+        print(f"lint: cannot load {args.rules}: {exc}", file=sys.stderr)
+        return 2
     report = run_lint(
-        deps, jobs=args.jobs, entailment=not args.no_entailment
+        deps,
+        jobs=args.jobs,
+        entailment=not args.no_entailment,
+        deep=args.deep,
     )
     if args.format == "json":
         rendered = render_json(report)
@@ -305,7 +317,7 @@ def _cmd_lint(args) -> int:
         Path(args.output).write_text(rendered + "\n")
     else:
         print(rendered)
-    return report.exit_code
+    return report.exit_code_for(args.fail_on)
 
 
 def _cmd_bench(args) -> int:
@@ -547,6 +559,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-entailment", action="store_true",
         help="skip the chase-backed subsumption/redundancy passes",
+    )
+    p.add_argument(
+        "--deep", action="store_true",
+        help="run the engine-backed deep passes (semantic dead "
+             "predicates, escalated subsumption, rewritability hints)",
+    )
+    p.add_argument(
+        "--fail-on", choices=("error", "warning", "info"),
+        default="error",
+        help="exit 1 when a finding at or above this severity is "
+             "present (default: error)",
     )
     p.add_argument(
         "--output", metavar="FILE", default=None,

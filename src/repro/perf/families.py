@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..analysis.certificates import clear_certificate_cache
+from ..analysis.depgraph import clear_depgraph_cache
+from ..analysis.semantic import clear_semantic_cache
 from ..chase.engine import chase
 from ..columnar import execute as _columnar_execute  # noqa: F401
 from ..dependencies.classes import TGDClass
@@ -46,7 +48,8 @@ from ..rewriting.rewrite import (
 # timed region.
 
 __all__ = ["BenchFamily", "FAMILIES", "MARCH_BUCKET", "MARCH_NODES",
-           "MARCH_RULES", "SKEW_FILLER", "SKEW_HUB", "SKEW_NODES",
+           "MARCH_RULES", "MFA_BENCH_MFA_RULES", "MFA_BENCH_MSA_RULES",
+           "SKEW_FILLER", "SKEW_HUB", "SKEW_NODES",
            "SKEW_RULES", "clear_engine_caches", "march_instance",
            "resolve_families", "run_march", "run_skew", "skew_instance"]
 
@@ -58,6 +61,8 @@ def clear_engine_caches() -> None:
     PLAN_CACHE.clear()
     clear_order_memo()
     clear_certificate_cache()
+    clear_depgraph_cache()
+    clear_semantic_cache()
 
 
 @dataclass(frozen=True)
@@ -282,6 +287,46 @@ def _run_rewrite_full() -> None:
     assert result.status in ("success", "failure")
 
 
+# The semantic-certificate workload behind the analysis-mfa family and
+# the benchmarks/bench_analysis.py MFA ablation.  Two pinned sets that
+# defeat every syntactic tier (WA/JA/SWA all see a place cycle) yet are
+# chase-finite: the first is summarisable (MSA — its guard C never
+# holds for summary constants), the second is certified only by the
+# faithful chase (MFA — the summary model conflates f- and g-terms
+# into a spurious cycle the faithful terms never realize).
+
+_MFA_MSA_SCHEMA = Schema.of(("A", 1), ("R", 2), ("S", 2), ("C", 1))
+MFA_BENCH_MSA_RULES = (
+    "A(x) -> R(x, y)\n"
+    "R(x, y) -> S(y, v)\n"
+    "R(x, y), S(y, z), C(z) -> R(y, w)"
+)
+_MFA_ONLY_SCHEMA = Schema.of(
+    ("A", 1), ("R", 2), ("I", 1), ("G", 1), ("T", 2)
+)
+MFA_BENCH_MFA_RULES = (
+    "A(x) -> R(x, y)\n"
+    "R(x, y), I(x) -> G(y)\n"
+    "G(x) -> T(x, y)\n"
+    "T(x, y), I(x) -> A(y)"
+)
+
+
+def _run_analysis_mfa() -> None:
+    from ..analysis.certificates import Certificate, certificate_for
+
+    msa_set = parse_tgds(MFA_BENCH_MSA_RULES, _MFA_MSA_SCHEMA)
+    mfa_set = parse_tgds(MFA_BENCH_MFA_RULES, _MFA_ONLY_SCHEMA)
+    msa = certificate_for(msa_set)
+    assert (
+        msa.certificate is Certificate.MODEL_SUMMARISING_ACYCLICITY
+    ), "analysis-mfa: first set must be MSA-certified"
+    mfa = certificate_for(mfa_set)
+    assert (
+        mfa.certificate is Certificate.MODEL_FAITHFUL_ACYCLICITY
+    ), "analysis-mfa: second set must be MFA-certified"
+
+
 def _run_entails_cold() -> None:
     sigma = list(parse_tgds(_E9_RULES, _UNARY3))
     conclusions = parse_tgds(
@@ -338,6 +383,12 @@ FAMILIES: dict[str, BenchFamily] = {
             "Zipf-skewed join chase under order=adaptive "
             "(statistics-driven atom ordering dodges the hub buckets)",
             _run_chase_skewed,
+        ),
+        BenchFamily(
+            "analysis-mfa",
+            "semantic certificate lattice climb: monitored critical-"
+            "instance chases certifying an MSA and an MFA-only set",
+            _run_analysis_mfa,
         ),
     )
 }

@@ -251,6 +251,12 @@ def _require_fragment(
         )
         for index, exp in offenders
     )
+    from ..analysis.deep import loop_restriction_diagnostics
+
+    # A set outside the requested fragment can still be FO-rewritable:
+    # attach the loop-restriction hint so the caller knows the failure
+    # is about this algorithm's fragment, not rewritability itself.
+    diagnostics += loop_restriction_diagnostics(source)
     index, exp = offenders[0]
     raise PreflightError(
         f"{algorithm} expects a set of {cls} tgds; rule {index} is not "

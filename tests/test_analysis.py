@@ -445,20 +445,34 @@ class TestRewritePreflight:
     def test_algorithm1_rejects_unguarded_input_with_r001(self):
         with pytest.raises(PreflightError) as err:
             guarded_to_linear(self.unguarded(), max_rounds=1)
-        (diag,) = err.value.diagnostics
-        assert diag.code == "R001"
+        (diag,) = [
+            d for d in err.value.diagnostics if d.code == "R001"
+        ]
         assert diag.severity is Severity.ERROR
         assert diag.rule == 0
         assert diag.witness is not None
         assert "Algorithm 1" in diag.message
+
+    def test_preflight_attaches_the_loop_restriction_hint(self):
+        # The unguarded fixture is nonrecursive, so alongside the R001
+        # rejection the preflight notes the set is still FO-rewritable.
+        with pytest.raises(PreflightError) as err:
+            guarded_to_linear(self.unguarded(), max_rounds=1)
+        (hint,) = [
+            d for d in err.value.diagnostics if d.code == "L001"
+        ]
+        assert hint.severity is Severity.INFO
+        assert "FO-rewritable" in hint.message
 
     def test_algorithm2_rejects_non_frontier_guarded_input(self):
         schema = Schema.of(("R", 2), ("S", 2))
         sigma = parse_tgds("R(x, y), R(y, z) -> S(x, z)", schema)
         with pytest.raises(PreflightError) as err:
             frontier_guarded_to_guarded(sigma, max_rounds=1)
-        (diag,) = err.value.diagnostics
-        assert diag.code == "R001" and "Algorithm 2" in diag.message
+        (diag,) = [
+            d for d in err.value.diagnostics if d.code == "R001"
+        ]
+        assert "Algorithm 2" in diag.message
 
     def test_rewrite_short_circuits_source_already_in_target(self):
         schema = Schema.of(("R", 2), ("B", 1))
@@ -522,3 +536,124 @@ class TestSarifPayload:
             )
         ]
         assert regions and set(regions) == {3}
+
+
+class TestDeepLint:
+    """The engine-backed deep pass (D001-D003, L001)."""
+
+    def chain_schema(self, length):
+        return Schema.of(("P", 1), ("Q", 1), ("Succ", 2))
+
+    def long_chain_dep(self, length, head="P"):
+        """P(x0), Succ(x0,x1), ..., Succ(x{n-1},xn) -> head(xn): provable
+        only by a chase of `length` rounds, beyond the default budget of
+        12 when `length` is larger."""
+        body = ["P(x0)"] + [
+            f"Succ(x{i}, x{i + 1})" for i in range(length)
+        ]
+        text = ", ".join(body) + f" -> {head}(x{length})"
+        return parse_dependency(text)
+
+    def test_d002_subsumption_only_at_the_escalated_budget(self):
+        # The stepper re-feeds Succ with an invented successor, so no
+        # certificate applies and the default 12-round budget stays on;
+        # the 20-step chain needs ~20 rounds, the escalated 48 suffice.
+        stepper = parse_dependency(
+            "P(x), Succ(x, y) -> exists z . P(y), Succ(y, z)"
+        )
+        deep_dep = self.long_chain_dep(20)
+        sigma = [stepper, deep_dep]
+        assert entails([stepper], deep_dep) is TriBool.UNKNOWN
+        report = run_lint(sigma, deep=True)
+        codes = {d.code for d in report.diagnostics}
+        assert "H004" not in codes  # shallow pass cannot see it
+        (d002,) = [d for d in report.diagnostics if d.code == "D002"]
+        assert d002.rule == 1
+        assert d002.witness == "rule 0"
+
+    def test_d003_redundancy_only_at_the_escalated_budget(self):
+        # ping invents a Succ successor, keeping the {ping, pong} set
+        # uncertified (budget stays on); alternating the two rules
+        # walks the odd-length chain two steps per round, reaching
+        # Q(x31) in ~16 rounds — beyond the default 12, within the
+        # escalated 48.  Neither rule alone
+        # entails the chain (each stalls at a definitive fixpoint), so
+        # only D003 (not H004/D002) can report it.
+        from repro.analysis.deep import DEEP_BUDGET_FACTOR
+        from repro.entailment.bcq import DEFAULT_CHASE_ROUNDS
+
+        ping = parse_dependency(
+            "P(x), Succ(x, y) -> exists z . Q(y), Succ(y, z)"
+        )
+        pong = parse_dependency("Q(x), Succ(x, y) -> P(y)")
+        deep_dep = self.long_chain_dep(31, head="Q")
+        budget = DEEP_BUDGET_FACTOR * DEFAULT_CHASE_ROUNDS
+        sigma = [ping, pong, deep_dep]
+        assert entails([ping, pong], deep_dep) is TriBool.UNKNOWN
+        assert entails([ping, pong], deep_dep, max_rounds=budget) is (
+            TriBool.TRUE
+        )
+        report = run_lint(sigma, deep=True)
+        (d003,) = [d for d in report.diagnostics if d.code == "D003"]
+        assert d003.rule == 2
+        assert "escalated budget" in d003.message
+
+    def test_d001_requires_a_terminating_monitored_chase(self):
+        # The monitored chase of the nonterminating set stops on the
+        # monitor, so no D001 is ever guessed.
+        from repro.analysis.deep import semantic_reachability_diagnostics
+
+        schema = Schema.of(("E", 2), ("Dead", 1))
+        sigma = parse_tgds(
+            "E(x, y) -> exists z . E(y, z)\nE(x, x) -> Dead(x)", schema
+        )
+        assert semantic_reachability_diagnostics(sigma) == ()
+
+    def test_d001_skips_sets_with_egds(self):
+        from repro.analysis.deep import semantic_reachability_diagnostics
+
+        schema = Schema.of(("A", 1), ("R", 2), ("Bad", 1))
+        sigma = list(
+            parse_tgds("A(x) -> exists y . R(x, y)\nR(x, x) -> Bad(x)", schema)
+        )
+        assert semantic_reachability_diagnostics(sigma)  # tgd-only: fires
+        sigma.append(parse_dependency("R(x, y), R(x, z) -> y = z"))
+        assert semantic_reachability_diagnostics(sigma) == ()
+
+    def test_l001_only_for_nonrecursive_sets(self):
+        from repro.analysis.deep import loop_restriction_diagnostics
+
+        schema = Schema.of(("A", 1), ("B", 1))
+        nonrec = parse_tgds("A(x) -> B(x)", schema)
+        rec = parse_tgds("A(x) -> B(x)\nB(x) -> A(x)", schema)
+        (hint,) = loop_restriction_diagnostics(nonrec)
+        assert hint.code == "L001" and hint.severity is Severity.INFO
+        assert loop_restriction_diagnostics(rec) == ()
+
+    def test_deep_pass_observes_its_cost_histogram(self):
+        from repro.analysis.deep import deep_diagnostics
+
+        schema = Schema.of(("A", 1), ("B", 1))
+        sigma = parse_tgds("A(x) -> B(x)", schema)
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+        sink = MemorySink()
+        TELEMETRY.enable(sink)
+        deep_diagnostics(sigma)
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+        assert "analysis.deep_ms" in sink.histograms
+
+    def test_exit_code_for_thresholds(self):
+        schema = Schema.of(("A", 1), ("R", 2), ("Bad", 1))
+        sigma = parse_tgds(
+            "A(x) -> exists y . R(x, y)\nR(x, x) -> Bad(x)", schema
+        )
+        report = run_lint(sigma, deep=True)
+        assert report.worst is Severity.WARNING  # the D001
+        assert report.exit_code == 0
+        assert report.exit_code_for("error") == 0
+        assert report.exit_code_for("warning") == 1
+        assert report.exit_code_for("info") == 1
+        with pytest.raises(ValueError):
+            report.exit_code_for("fatal")

@@ -164,6 +164,105 @@ class TestShippedExamples:
             jsonschema.validate(json.loads(out), schema)
 
 
+class TestFailOn:
+    def test_warnings_pass_by_default(self, mixed_rules, capsys):
+        code, _ = lint_output(capsys, ["lint", mixed_rules])
+        assert code == 0
+
+    def test_fail_on_warning_trips_on_warnings(self, mixed_rules, capsys):
+        code, _ = lint_output(
+            capsys, ["lint", mixed_rules, "--fail-on", "warning"]
+        )
+        assert code == 1
+
+    def test_fail_on_info_trips_on_a_clean_report(self, clean_rules, capsys):
+        # Even a clean set carries info findings (fragments, T001).
+        code, _ = lint_output(
+            capsys, ["lint", clean_rules, "--fail-on", "info"]
+        )
+        assert code == 1
+
+    def test_fail_on_warning_passes_an_info_only_report(
+        self, clean_rules, capsys
+    ):
+        code, _ = lint_output(
+            capsys, ["lint", clean_rules, "--fail-on", "warning"]
+        )
+        assert code == 0
+
+    def test_json_format_honours_fail_on(self, mixed_rules, capsys):
+        # The JSON path used to unconditionally exit 0.
+        code, out = lint_output(
+            capsys,
+            [
+                "lint", mixed_rules, "--format", "json",
+                "--fail-on", "warning",
+            ],
+        )
+        assert code == 1
+        json.loads(out)  # the report itself is still well-formed
+
+    def test_unparseable_input_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rules"
+        bad.write_text("this is not ( a rule\n")
+        code = main(["lint", str(bad)])
+        assert code == 2
+
+
+class TestDeepLint:
+    def test_deep_finds_semantically_dead_predicates(self, capsys):
+        code, out = lint_output(
+            capsys,
+            ["lint", str(EXAMPLES / "deep_semantics.rules"), "--deep"],
+        )
+        assert code == 0
+        assert "D001" in out and "witness: Bad" in out
+        assert "L001" in out  # the set is nonrecursive
+        # ...and H002 stays silent: Bad is syntactically reachable.
+        assert "H002" not in out
+
+    def test_without_deep_the_d_codes_are_absent(self, capsys):
+        _, out = lint_output(
+            capsys, ["lint", str(EXAMPLES / "deep_semantics.rules")]
+        )
+        assert "D001" not in out and "L001" not in out
+
+    def test_deep_is_deterministic_across_jobs(self, capsys):
+        rules = str(EXAMPLES / "deep_semantics.rules")
+        _, one = lint_output(
+            capsys, ["lint", rules, "--deep", "--format", "sarif"]
+        )
+        _, two = lint_output(
+            capsys,
+            ["lint", rules, "--deep", "--format", "sarif", "--jobs", "2"],
+        )
+        assert one == two
+
+    def test_semantic_certificate_example_is_certified(self, capsys):
+        code, out = lint_output(
+            capsys,
+            ["lint", str(EXAMPLES / "semantic_certificates.rules")],
+        )
+        assert code == 0
+        assert (
+            "termination certificate: model-summarising-acyclicity"
+            in out
+        )
+        assert "T001" in out and "T002" not in out
+
+    def test_deep_sarif_validates_against_the_schema(self, capsys):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads(SARIF_SCHEMA.read_text())
+        _, out = lint_output(
+            capsys,
+            [
+                "lint", str(EXAMPLES / "deep_semantics.rules"),
+                "--deep", "--format", "sarif",
+            ],
+        )
+        jsonschema.validate(json.loads(out), schema)
+
+
 class TestChaseCertificateFlag:
     def test_auto_reaches_fixpoint_despite_budget(self, clean_rules, tmp_path, capsys):
         data = tmp_path / "db.txt"
