@@ -40,8 +40,25 @@ termination guarantee.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence, Union
+from types import ModuleType
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Sequence,
+    Union,
+)
+
+try:  # pragma: no cover - platform dependent
+    import resource as _resource_module
+
+    _resource: ModuleType | None = _resource_module
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
 
 from ..dependencies.denial import DenialConstraint
 from ..dependencies.egd import EGD
@@ -96,11 +113,12 @@ class StopReason:
     FIXPOINT = "fixpoint"
     ROUND_BUDGET = "round_budget"
     FACT_BUDGET = "fact_budget"
+    MEMORY = "memory_budget"
     EGD_FAILURE = "egd_failure"
     DENIAL_VIOLATION = "denial_violation"
     MONITOR = "monitor"
 
-    ALL = (FIXPOINT, ROUND_BUDGET, FACT_BUDGET, EGD_FAILURE,
+    ALL = (FIXPOINT, ROUND_BUDGET, FACT_BUDGET, MEMORY, EGD_FAILURE,
            DENIAL_VIOLATION, MONITOR)
 
 
@@ -338,6 +356,23 @@ class _DeltaCursor:
         self.position = 0
 
 
+def _peak_rss_kb() -> int:
+    """The process's peak resident set size in KB.
+
+    Returns 0 when the platform exposes no ``resource`` module; a
+    memory budget then never trips (graceful degradation — the chase
+    still runs, just unbounded).  ``ru_maxrss`` is a high-water mark:
+    once the process has ever exceeded a budget, every later check
+    trips too, which is exactly the semantics a peak-RSS budget wants.
+    """
+    if _resource is None:  # pragma: no cover - non-POSIX
+        return 0
+    peak = int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":  # pragma: no cover - reported in bytes
+        peak //= 1024
+    return peak
+
+
 def _unify_atom(atom: Atom, tup: tuple[object, ...]) -> dict[Var, object] | None:
     """Match one atom against one fact; ``None`` on clash."""
     partial: dict[Var, object] = {}
@@ -410,6 +445,81 @@ def _enumerate_triggers(
         key=lambda trig: tuple(element_sort_key(trig[v]) for v in univ)
     )
     return triggers
+
+
+def _delta_trigger_chunks(
+    state: _State | ColumnarState,
+    dep: TGD,
+    cursor: _DeltaCursor,
+    plan: str | None,
+    order: str | None,
+    chunk: int,
+) -> Iterator[list[dict[Var, object]]]:
+    """A memory-bounded semi-naive sweep: the dependency's triggers in
+    canonically-sorted batches, at most one delta slice's worth
+    materialized at a time.
+
+    The unchunked sweep materializes *every* candidate trigger before
+    firing any; at 10^6 delta facts that list dominates peak memory.
+    Here the delta (the whole log on a first sweep or after an egd
+    merge, when every fact counts as new) is consumed in slices of
+    ``chunk`` facts: each slice's triggers are joined, deduplicated by
+    binding key, sorted, and handed back for firing before the next
+    slice is touched.  Every batch is fully materialized before the
+    caller mutates the state, so no paused join enumeration ever
+    observes a mutation.
+
+    Firing between batches changes what later batches join against, so
+    the global firing order differs from the unchunked sweep's single
+    canonical sort.  For full-tgd dependencies the final instance is
+    unchanged (the restricted chase of full tgds computes the unique
+    least fixpoint under any fair order); with existential heads the
+    run still yields a universal model, but its null numbering may
+    differ from the unchunked run's.  Either way the result is a pure
+    function of the inputs — batches are deterministic slices in
+    deterministic order.  A binding whose body facts span two slices is
+    enumerated in both batches; the engine's activity check (or
+    oblivious done-set) keeps it from firing twice.
+    """
+    univ = dep.universal_variables
+    start = 0 if cursor.generation != state.generation else cursor.position
+    log_end = len(state.log)
+    cursor.generation = state.generation
+    cursor.position = log_end
+    body = dep.body
+    if not body:
+        # A variable-free body matches at most once; no delta to slice.
+        triggers = list(
+            all_extensions_of(body, state, plan=plan, order=order)
+        )
+        if triggers:
+            yield triggers
+        return
+    log = state.log
+    sort_key = lambda trig: tuple(  # noqa: E731 - mirrors the plain path
+        element_sort_key(trig[v]) for v in univ
+    )
+    for lo in range(start, log_end, chunk):
+        batch: list[dict[Var, object]] = []
+        seen: set[tuple[object, ...]] = set()
+        for rel, tup in log[lo:lo + chunk]:
+            for i, atom in enumerate(body):
+                if atom.relation != rel:
+                    continue
+                partial = _unify_atom(atom, tup)
+                if partial is None:
+                    continue
+                rest = body[:i] + body[i + 1:]
+                for trig in all_extensions_of(
+                    rest, state, partial, plan=plan, order=order
+                ):
+                    key = tuple(trig[v] for v in univ)
+                    if key not in seen:
+                        seen.add(key)
+                        batch.append(trig)
+        if batch:
+            batch.sort(key=sort_key)
+            yield batch
 
 
 def _combined_schema(instance: Instance, deps: Sequence[Dependency]) -> Schema:
@@ -490,6 +600,8 @@ def chase(
     strategy: str = "seminaive",
     max_rounds: int | None = None,
     max_facts: int | None = None,
+    max_memory_mb: int | None = None,
+    delta_chunk: int | None = None,
     certificate: str = "off",
     plan: str | None = None,
     backend: str = DEFAULT_BACKEND,
@@ -503,6 +615,26 @@ def chase(
     With both ``None``, the chase runs until a fixpoint (which may never
     come for non-terminating sets — prefer an explicit budget, or check
     weak acyclicity first).
+
+    ``max_memory_mb`` is a peak-RSS budget: the run stops with
+    ``StopReason.MEMORY`` as soon as the process's high-water resident
+    set (``getrusage``'s ``ru_maxrss``) exceeds the bound — checked at
+    round boundaries, per trigger batch, and every few hundred firings.
+    Because it reads a process-wide high-water mark, the budget must
+    exceed the RSS at call time to permit any work at all; a run whose
+    budget never trips is bit-identical to an unbudgeted one.  On
+    platforms without the ``resource`` module the budget never trips.
+
+    ``delta_chunk`` bounds how many delta facts a semi-naive sweep
+    joins at a time (see :func:`_delta_trigger_chunks`): instead of
+    materializing every candidate trigger of a dependency before
+    firing, triggers are produced and fired in per-slice batches, so
+    peak memory scales with the chunk (times join fan-out) rather than
+    the full delta.  Requires ``strategy="seminaive"``.  Full-tgd sets
+    chase to the identical final instance; existential heads still
+    yield a deterministic universal model, but null numbering may
+    differ from the unchunked run's — pair it with full-tgd rule sets
+    when bit-identity matters.
 
     ``certificate="auto"`` consults the memoized termination-certificate
     lattice (:func:`repro.analysis.guarantees_termination`): when a
@@ -576,6 +708,20 @@ def chase(
         )
     if backend not in BACKENDS:
         raise ChaseError(f"unknown chase backend {backend!r}")
+    if max_memory_mb is not None and max_memory_mb < 1:
+        raise ChaseError(
+            f"max_memory_mb must be >= 1, got {max_memory_mb}"
+        )
+    if delta_chunk is not None:
+        if delta_chunk < 1:
+            raise ChaseError(
+                f"delta_chunk must be >= 1, got {delta_chunk}"
+            )
+        if strategy != "seminaive":
+            raise ChaseError(
+                "delta_chunk requires strategy='seminaive' (the naive "
+                "strategy has no delta to slice)"
+            )
     if certificate == "auto" and max_rounds is not None:
         from ..analysis.certificates import guarantees_termination
 
@@ -598,11 +744,43 @@ def chase(
         "certificate": certificate,
         "max_rounds": max_rounds,
         "max_facts": max_facts,
+        "max_memory_mb": max_memory_mb,
+        "delta_chunk": delta_chunk,
         "dependencies": len(deps),
     }
     if inventor is not None:
         config["monitored"] = True
     schema = _combined_schema(instance, deps)
+    memory_kb = None if max_memory_mb is None else max_memory_mb * 1024
+    if memory_kb is not None and _peak_rss_kb() > memory_kb:
+        # Already over budget before any work: stop ahead of the
+        # working-state bootstrap — cloning the kernel and building the
+        # canonical fact log is itself a large allocation at streaming
+        # scales, so the budget must gate it, not just the rounds.
+        if TELEMETRY.enabled:
+            TELEMETRY.count("chase.runs")
+            TELEMETRY.count("chase.budget_exhausted")
+            TELEMETRY.count("chase.memory_stops")
+            peak = _peak_rss_kb()
+            if peak:
+                TELEMETRY.gauge("proc.peak_rss_kb", float(peak))
+        if schema == instance.schema:
+            snapshot = instance.with_backend(backend)
+        else:
+            snapshot = Instance._trusted(
+                schema,
+                instance.domain,
+                {
+                    rel: instance._relations.get(rel, _EMPTY_SET)
+                    for rel in schema
+                },
+                backend,
+            )
+        return ChaseResult(
+            snapshot, False, False, 0, 0, 0,
+            stop_reason=StopReason.MEMORY,
+            metrics=MetricsProbe().delta(), config=config,
+        )
     state: _State | ColumnarState
     if backend == "columnar":
         # Imported lazily: repro.columnar itself imports chase-adjacent
@@ -630,9 +808,15 @@ def chase(
             if TELEMETRY.enabled:
                 TELEMETRY.count("chase.runs")
                 if reason in (
-                    StopReason.ROUND_BUDGET, StopReason.FACT_BUDGET
+                    StopReason.ROUND_BUDGET, StopReason.FACT_BUDGET,
+                    StopReason.MEMORY,
                 ):
                     TELEMETRY.count("chase.budget_exhausted")
+                if reason == StopReason.MEMORY:
+                    TELEMETRY.count("chase.memory_stops")
+                peak = _peak_rss_kb()
+                if peak:
+                    TELEMETRY.gauge("proc.peak_rss_kb", float(peak))
             sp.set(stop_reason=reason, rounds=rounds, fired=fired)
             return ChaseResult(
                 state.snapshot(), terminated, failed, rounds, fired,
@@ -643,6 +827,8 @@ def chase(
         while True:
             if max_rounds is not None and rounds >= max_rounds:
                 return finish(False, False, StopReason.ROUND_BUDGET)
+            if memory_kb is not None and _peak_rss_kb() > memory_kb:
+                return finish(False, False, StopReason.MEMORY)
             rounds += 1
             if TELEMETRY.enabled:
                 TELEMETRY.count("chase.rounds")
@@ -668,62 +854,88 @@ def chase(
                                 True, True, StopReason.EGD_FAILURE
                             )
                         continue
-                    triggers = _enumerate_triggers(
-                        state, dep, cursors[index], strategy, plan, order
-                    )
-                    round_triggers += len(triggers)
-                    if TELEMETRY.enabled and triggers:
-                        TELEMETRY.count(
-                            "chase.triggers_enumerated", len(triggers)
+                    if delta_chunk is None:
+                        batches: Iterable[list[dict[Var, object]]] = (
+                            _enumerate_triggers(
+                                state, dep, cursors[index], strategy,
+                                plan, order,
+                            ),
                         )
-                    for trigger in triggers:
-                        if variant == "oblivious":
-                            key = (
-                                index,
-                                tuple(
-                                    trigger[v]
-                                    for v in dep.universal_variables
-                                ),
-                            )
-                            if key in oblivious_done:
-                                continue
-                            oblivious_done.add(key)
-                        else:
-                            # Restricted: re-check activity against the
-                            # live indexed state (no snapshot copies).
-                            if satisfies_atoms(
-                                dep.head, state, trigger, plan=plan,
-                                order=order,
-                            ):
-                                continue
-                        try:
-                            added, created = _fire_tgd(
-                                state, dep, trigger, nulls, inventor
-                            )
-                        except ChaseMonitorStop:
-                            return finish(
-                                False, False, StopReason.MONITOR
-                            )
-                        fired += 1
-                        nulls_created += created
-                        if TELEMETRY.enabled:
-                            TELEMETRY.count("chase.triggers_fired")
-                            if created:
-                                TELEMETRY.count(
-                                    "chase.nulls_created", created
-                                )
-                            if added:
-                                TELEMETRY.count("chase.facts_added", added)
-                        progressed = (
-                            progressed or added > 0 or created > 0
+                    else:
+                        batches = _delta_trigger_chunks(
+                            state, dep, cursors[index], plan, order,
+                            delta_chunk,
                         )
+                    for triggers in batches:
                         if (
-                            max_facts is not None
-                            and state.fact_count() > max_facts
+                            memory_kb is not None
+                            and _peak_rss_kb() > memory_kb
                         ):
-                            return finish(
-                                False, False, StopReason.FACT_BUDGET
+                            return finish(False, False, StopReason.MEMORY)
+                        round_triggers += len(triggers)
+                        if TELEMETRY.enabled and triggers:
+                            TELEMETRY.count(
+                                "chase.triggers_enumerated", len(triggers)
                             )
+                        for trigger in triggers:
+                            if variant == "oblivious":
+                                key = (
+                                    index,
+                                    tuple(
+                                        trigger[v]
+                                        for v in dep.universal_variables
+                                    ),
+                                )
+                                if key in oblivious_done:
+                                    continue
+                                oblivious_done.add(key)
+                            else:
+                                # Restricted: re-check activity against
+                                # the live indexed state (no snapshot
+                                # copies).
+                                if satisfies_atoms(
+                                    dep.head, state, trigger, plan=plan,
+                                    order=order,
+                                ):
+                                    continue
+                            try:
+                                added, created = _fire_tgd(
+                                    state, dep, trigger, nulls, inventor
+                                )
+                            except ChaseMonitorStop:
+                                return finish(
+                                    False, False, StopReason.MONITOR
+                                )
+                            fired += 1
+                            nulls_created += created
+                            if TELEMETRY.enabled:
+                                TELEMETRY.count("chase.triggers_fired")
+                                if created:
+                                    TELEMETRY.count(
+                                        "chase.nulls_created", created
+                                    )
+                                if added:
+                                    TELEMETRY.count(
+                                        "chase.facts_added", added
+                                    )
+                            progressed = (
+                                progressed or added > 0 or created > 0
+                            )
+                            if (
+                                max_facts is not None
+                                and state.fact_count() > max_facts
+                            ):
+                                return finish(
+                                    False, False, StopReason.FACT_BUDGET
+                                )
+                            if (
+                                memory_kb is not None
+                                and not fired % 512
+                                and _peak_rss_kb() > memory_kb
+                            ):
+                                return finish(
+                                    False, False, StopReason.MEMORY
+                                )
                 if TELEMETRY.enabled:
                     # Per-round distribution of enumerated tgd triggers:
                     # the semi-naive delta property shows up directly as

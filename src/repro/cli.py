@@ -13,6 +13,9 @@ Commands:
 * ``lint RULES``                — static analysis: fragment
   explanations, termination certificates, hygiene, stratification
   (``--format text|json|sarif`` for CI consumption)
+* ``genworkload OUT``           — write a deterministic layered Zipf
+  workload as a streaming fact file (chase it back with
+  ``chase RULES OUT --from-stream``)
 * ``separations``               — re-derive the Section 9.1 separations
 * ``bench``                     — run benchmark families; write/compare
   ``BENCH_*.json`` performance-trajectory files (``--compare`` gates
@@ -173,18 +176,62 @@ def _cmd_classify(args) -> int:
 
 def _cmd_chase(args) -> int:
     deps = _load_dependencies(args.rules)
-    db = _load_instance(args.data)
+    if args.from_stream:
+        db = Instance.from_stream(args.data, backend=args.backend)
+    else:
+        db = _load_instance(args.data)
     result = chase(
-        db, deps, max_rounds=args.max_rounds, certificate=args.certificate,
-        backend=args.backend, order=args.order,
+        db, deps, max_rounds=args.max_rounds,
+        max_memory_mb=args.max_memory_mb, delta_chunk=args.delta_chunk,
+        certificate=args.certificate, backend=args.backend,
+        order=args.order,
     )
     status = "failed (constraint violation)" if result.failed else (
-        "terminated" if result.terminated else "budget exhausted"
+        "terminated" if result.terminated else
+        f"budget exhausted ({result.stop_reason})"
     )
     print(f"chase {status}: {result.fired} firings, "
           f"{result.nulls_created} nulls, {result.rounds} rounds")
-    print(format_instance(result.instance))
+    if args.no_instance:
+        sizes = ", ".join(
+            f"{rel.name}={len(result.instance.tuples(rel))}"
+            for rel in result.instance.schema
+            if result.instance.tuples(rel)
+        )
+        print(f"instance: {sizes or '(empty)'}")
+    else:
+        print(format_instance(result.instance))
     return 1 if result.failed else 0
+
+
+def _cmd_genworkload(args) -> int:
+    from time import perf_counter
+
+    from .workloads.factory import WorkloadSpec, write_workload
+
+    try:
+        spec = WorkloadSpec(
+            name=Path(args.out).stem,
+            seed=args.seed,
+            facts=args.facts,
+            levels=args.levels,
+            skew=args.skew,
+            violation_rate=args.violations,
+        )
+    except ValueError as exc:
+        print(f"genworkload: {exc}", file=sys.stderr)
+        return 1
+    started = perf_counter()
+    rows = write_workload(spec, args.out, batch_size=args.batch_size)
+    elapsed = perf_counter() - started
+    rate = rows / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"wrote {rows} facts to {args.out} "
+        f"({elapsed:.2f}s, {rate:,.0f} facts/s, seed={spec.seed}, "
+        f"levels={spec.levels}, skew={spec.skew}, "
+        f"violations={spec.violation_rate})"
+    )
+    return 0
 
 
 def _cmd_entails(args) -> int:
@@ -352,6 +399,14 @@ def _cmd_bench(args) -> int:
             f"mean {result.mean_seconds * 1e3:8.2f}ms "
             f"({len(result.wall_seconds)} repeats)"
         )
+        facts = result.counters.get("ingest.facts", 0)
+        if facts:
+            batches = result.counters.get("ingest.batches", 0)
+            rate = facts / result.best_seconds
+            line += (
+                f" ingest {facts} facts/{batches} batches"
+                f" ({rate:,.0f} facts/s)"
+            )
         print(line)
         if args.json:
             path = result.write(out_dir)
@@ -459,7 +514,64 @@ def build_parser() -> argparse.ArgumentParser:
              "from live instance statistics (tgd-only results identical; "
              "with egds isomorphic)",
     )
+    p.add_argument(
+        "--from-stream", action="store_true",
+        help="DATA is a fact-stream file (#repro-factstream v1, e.g. "
+             "from 'repro genworkload'); ingested in batches instead of "
+             "parsed whole",
+    )
+    p.add_argument(
+        "--max-memory-mb", type=int, default=None, metavar="MB",
+        help="stop with a clean 'memory_budget' status when the "
+             "process's peak RSS exceeds MB (POSIX only; no-op "
+             "elsewhere)",
+    )
+    p.add_argument(
+        "--delta-chunk", type=int, default=None, metavar="ROWS",
+        help="process semi-naive deltas in chunks of ROWS log entries, "
+             "bounding the materialized trigger batch (full-tgd "
+             "results identical to unchunked)",
+    )
+    p.add_argument(
+        "--no-instance", action="store_true",
+        help="print per-relation sizes instead of the full instance "
+             "(for large streamed runs)",
+    )
     p.set_defaults(func=_cmd_chase)
+
+    p = sub.add_parser(
+        "genworkload", parents=[common],
+        help="write a deterministic layered Zipf workload as a "
+             "fact-stream file",
+    )
+    p.add_argument("out", help="output fact-stream path")
+    p.add_argument(
+        "--facts", type=int, default=10_000, metavar="N",
+        help="base fact count (default 10000; violations add more)",
+    )
+    p.add_argument(
+        "--levels", type=int, default=3, metavar="K",
+        help="FK levels L0..L{K-1} (default 3, min 2)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="rng seed; identical seeds give byte-identical files",
+    )
+    p.add_argument(
+        "--skew", type=float, default=1.0, metavar="S",
+        help="Zipf exponent for level sizes and parent references "
+             "(default 1.0; 0 = uniform)",
+    )
+    p.add_argument(
+        "--violations", type=float, default=0.0, metavar="RATE",
+        help="per-row probability of an FD-violating extra parent "
+             "(default 0.0)",
+    )
+    p.add_argument(
+        "--batch-size", type=int, default=8192, metavar="ROWS",
+        help="writer buffer flush size (default 8192)",
+    )
+    p.set_defaults(func=_cmd_genworkload)
 
     p = sub.add_parser("entails", parents=[common], help="decide Σ ⊨ σ")
     p.add_argument("rules")

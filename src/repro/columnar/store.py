@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from array import array
 from bisect import insort
+from collections import defaultdict
+from operator import itemgetter
 from typing import Iterable, Iterator, Sequence, cast
 
 from ..homomorphisms.plans import _CHECK_CONST, JoinPlan
@@ -183,6 +185,124 @@ class ColumnarStore:
         self._rows[relation][vids] = row
         self._nrows[relation] = row + 1
         return row
+
+    def extend_rows(
+        self,
+        relation: Relation,
+        rows: Iterable[Sequence[object]],
+        *,
+        assume_unique: bool = False,
+    ) -> int:
+        """Bulk-append every genuinely new row; returns the number added.
+
+        The streaming-ingestion fast path: where a loop over
+        :meth:`append` pays per-fact call overhead, a generator-built
+        ID tuple, ``arity`` separate ``array.append`` calls and an
+        allocated ``(pos, vid)`` bucket key per position, this batches
+        the whole chunk — ID tuples accumulate in one fresh-row list
+        that lands in the flat columns as one C-level unzip +
+        ``array.extend`` per position per batch, while bucket
+        membership accumulates in int-keyed per-position dicts that
+        merge into the store's ``(pos, vid)`` buckets once per
+        *distinct* value per batch (under skew, far fewer merges than
+        rows; a batch's rows for a brand-new value become its bucket
+        list outright).  Duplicate rows — against the store and within
+        the batch — are skipped by a single ``setdefault`` probe of
+        the row-key map, and distinct/max-bucket statistics are
+        refreshed once per merged bucket instead of once per fact.
+        Sorted views stay lazy — the incremental insort happens on
+        first consultation, exactly as with per-fact appends.
+
+        ``assume_unique=True`` extends :meth:`append`'s caller-dedups
+        contract to the batch: the per-row duplicate probe is dropped
+        and the row-key map is filled by one C-level ``dict.update``
+        at the end.  The streaming ingestion path passes it — rows
+        reaching the store already survived the object-level extent
+        dedup.  Passing it with duplicate rows corrupts the store.
+        """
+        ids_get = self.table.ids.get
+        intern = self.table.intern
+        columns = self._columns[relation]
+        arity = len(columns)
+        row_map = self._rows[relation]
+        claim = row_map.setdefault
+        row = self._nrows[relation]
+        first = row
+        fresh: list[tuple[int, ...]] = []
+        fresh_append = fresh.append
+        batch_buckets: tuple[defaultdict[int, list[int]], ...] = tuple(
+            defaultdict(list) for _ in columns
+        )
+        # Row IDs only grow, so an existing row-map entry can never
+        # equal the candidate ID: setdefault either claims the row or
+        # reveals the duplicate, in one hash probe.
+        if arity == 2:
+            # The dominant shape (every workload-factory relation is
+            # binary): a straight-line body with no per-element
+            # generator frame or position loop.
+            members0, members1 = batch_buckets
+            for elements in rows:
+                element0, element1 = elements
+                vid0 = ids_get(element0)
+                if vid0 is None:
+                    vid0 = intern(element0)
+                vid1 = ids_get(element1)
+                if vid1 is None:
+                    vid1 = intern(element1)
+                key2 = (vid0, vid1)
+                if not assume_unique and claim(key2, row) != row:
+                    continue
+                fresh_append(key2)
+                members0[vid0].append(row)
+                members1[vid1].append(row)
+                row += 1
+        else:
+            for elements in rows:
+                key: tuple[int, ...] = tuple(
+                    [
+                        vid if (vid := ids_get(element)) is not None
+                        else intern(element)
+                        for element in elements
+                    ]
+                )
+                if not assume_unique and claim(key, row) != row:
+                    continue
+                fresh_append(key)
+                for pos, vid in enumerate(key):
+                    batch_buckets[pos][vid].append(row)
+                row += 1
+        added = row - first
+        if not added:
+            return 0
+        if assume_unique:
+            row_map.update(zip(fresh, range(first, row)))
+        for pos, column in enumerate(columns):
+            column.extend(map(itemgetter(pos), fresh))
+        self._nrows[relation] = row
+        stats = self._stats[relation]
+        stats.rows += added
+        if arity:
+            buckets = self._buckets[relation]
+            buckets_get = buckets.get
+            distinct = stats.distinct
+            max_bucket = stats.max_bucket
+            for pos in range(arity):
+                created = 0
+                biggest = max_bucket[pos]
+                for vid, members in batch_buckets[pos].items():
+                    bucket = buckets_get((pos, vid))
+                    if bucket is None:
+                        buckets[pos, vid] = members
+                        created += 1
+                        size = len(members)
+                    else:
+                        bucket.extend(members)
+                        size = len(bucket)
+                    if size > biggest:
+                        biggest = size
+                distinct[pos] += created
+                max_bucket[pos] = biggest
+        return added
 
     def clone(self, relations: Iterable[Relation] | None = None) -> ColumnarStore:
         """An independent mutable copy, optionally over a wider relation

@@ -37,9 +37,18 @@ from .operations import (
     rename_apart,
     union,
 )
+from .streaming import (
+    DEFAULT_BATCH_ROWS,
+    FactStream,
+    FactStreamError,
+    FactStreamWriter,
+    instance_from_stream,
+)
 
 __all__ = [
     "Instance", "InstanceError",
+    "DEFAULT_BATCH_ROWS", "FactStream", "FactStreamError",
+    "FactStreamWriter", "instance_from_stream",
     "instance_from_json", "instance_to_json", "load_instance_csv",
     "load_instance_json", "save_instance_csv", "save_instance_json",
     "critical_instance", "critical_instance_over",

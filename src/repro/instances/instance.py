@@ -30,6 +30,7 @@ from ..lang.terms import element_sort_key
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..columnar.store import ColumnarStore
     from ..stats.relation import RelationStats
+    from .streaming import StreamSource
 
 __all__ = ["BACKENDS", "DEFAULT_BACKEND", "Instance", "InstanceError"]
 
@@ -157,6 +158,37 @@ class Instance:
             rels.setdefault(fact.relation, set()).add(fact.elements)
             domain.update(fact.elements)
         return cls(schema, domain, rels)
+
+    @classmethod
+    def from_stream(
+        cls,
+        source: "StreamSource",
+        *,
+        schema: Schema | None = None,
+        backend: str = DEFAULT_BACKEND,
+        batch_size: int | None = None,
+    ) -> "Instance":
+        """Build an instance by one batched pass over a fact stream.
+
+        ``source`` is a fact-stream file path, a
+        :class:`~repro.instances.streaming.FactStream`, or any iterable
+        of ``(relation, elements)`` rows (then ``schema=`` is
+        required).  Equal to :meth:`from_facts` over the same rows, but
+        never materializes the stream: rows are ingested in batches of
+        ``batch_size`` with per-batch ``ingest.*`` telemetry, and on
+        the columnar backend each batch is bulk-appended into the
+        interned kernel (see :mod:`repro.instances.streaming`).
+        """
+        from .streaming import DEFAULT_BATCH_ROWS, instance_from_stream
+
+        return instance_from_stream(
+            source,
+            schema=schema,
+            backend=backend,
+            batch_size=(
+                DEFAULT_BATCH_ROWS if batch_size is None else batch_size
+            ),
+        )
 
     @classmethod
     def parse(cls, text: str, schema: Schema | None = None) -> "Instance":

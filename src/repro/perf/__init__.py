@@ -32,7 +32,14 @@ from .compare import (
     parse_injection,
     render_regressions,
 )
-from .families import FAMILIES, BenchFamily, march_instance, resolve_families, run_march
+from .families import (
+    FAMILIES,
+    BenchFamily,
+    march_instance,
+    resolve_families,
+    run_march,
+    run_stream,
+)
 from .fingerprint import environment_fingerprint
 from .harness import (
     BENCH_SCHEMA,
@@ -62,4 +69,5 @@ __all__ = [
     "resolve_families",
     "run_family",
     "run_march",
+    "run_stream",
 ]

@@ -54,6 +54,14 @@ TRACKED_COUNTERS = (
     # though the ratio against 0 is undefined.
     "plan.guard_fallbacks",
     "plan.mispredictions",
+    # Streaming ingestion volume: facts consumed and batches formed are
+    # pure functions of the family's pinned spec and batch size.  A
+    # dedup or batching change that re-ingests rows (or silently drops
+    # the batched path back to per-fact adds) moves these before it
+    # moves wall time, and the from-zero rule gates a family that
+    # starts ingesting on a baseline that never did.
+    "ingest.facts",
+    "ingest.batches",
 )
 
 DEFAULT_WALL_THRESHOLD = 0.20

@@ -42,6 +42,13 @@ from ..rewriting.rewrite import (
     guarded_to_linear,
     rewrite,
 )
+from ..workloads.factory import (
+    WorkloadSpec,
+    clear_workload_caches,
+    dependencies_of,
+    generate_rows,
+    schema_of,
+)
 
 # The columnar executor (and its optional NumPy dependency) is imported
 # at module load so no family's first repeat pays the import inside the
@@ -50,8 +57,9 @@ from ..rewriting.rewrite import (
 __all__ = ["BenchFamily", "FAMILIES", "MARCH_BUCKET", "MARCH_NODES",
            "MARCH_RULES", "MFA_BENCH_MFA_RULES", "MFA_BENCH_MSA_RULES",
            "SKEW_FILLER", "SKEW_HUB", "SKEW_NODES",
-           "SKEW_RULES", "clear_engine_caches", "march_instance",
-           "resolve_families", "run_march", "run_skew", "skew_instance"]
+           "SKEW_RULES", "STREAM_SPEC", "clear_engine_caches",
+           "march_instance", "resolve_families", "run_march", "run_skew",
+           "run_stream", "skew_instance"]
 
 
 def clear_engine_caches() -> None:
@@ -63,6 +71,7 @@ def clear_engine_caches() -> None:
     clear_certificate_cache()
     clear_depgraph_cache()
     clear_semantic_cache()
+    clear_workload_caches()
 
 
 @dataclass(frozen=True)
@@ -327,6 +336,47 @@ def _run_analysis_mfa() -> None:
     ), "analysis-mfa: second set must be MFA-certified"
 
 
+# The streaming-ingestion workload behind the chase-stream family and
+# the benchmarks/bench_workloads.py ablations.  A pinned factory spec is
+# generated in memory, ingested through Instance.from_stream in small
+# batches (exercising the columnar bulk-append fast path and the
+# ingest.* telemetry), then chased with the rollup rules under a
+# chunked delta sweep — the memory-bounded batching path, minus the
+# machine-dependent RSS budget (ru_maxrss varies by host, so the bench
+# family keeps its counters a pure function of the codebase by never
+# passing max_memory_mb; the CI smoke job covers the budget trip).
+
+STREAM_SPEC = WorkloadSpec(
+    name="bench", seed=2021, facts=4000, levels=3, skew=1.0
+)
+_STREAM_BATCH = 512
+_STREAM_CHUNK = 1024
+
+
+def run_stream(
+    backend: str, *, spec: WorkloadSpec = STREAM_SPEC
+) -> None:
+    """One streamed ingest + chunked chase on ``backend``."""
+    deps = dependencies_of(spec)
+    db = Instance.from_stream(
+        generate_rows(spec),
+        schema=schema_of(spec),
+        backend=backend,
+        batch_size=_STREAM_BATCH,
+    )
+    result = chase(
+        db, deps, backend=backend,
+        delta_chunk=_STREAM_CHUNK, max_rounds=8,
+    )
+    assert result.successful, "chase-stream family must reach a fixpoint"
+    for k in range(spec.levels - 1):
+        assert result.instance.tuples(f"A{k}"), "rollups must derive"
+
+
+def _run_chase_stream() -> None:
+    run_stream("columnar")
+
+
 def _run_entails_cold() -> None:
     sigma = list(parse_tgds(_E9_RULES, _UNARY3))
     conclusions = parse_tgds(
@@ -383,6 +433,12 @@ FAMILIES: dict[str, BenchFamily] = {
             "Zipf-skewed join chase under order=adaptive "
             "(statistics-driven atom ordering dodges the hub buckets)",
             _run_chase_skewed,
+        ),
+        BenchFamily(
+            "chase-stream",
+            "streamed factory ingest (batched columnar bulk-append) "
+            "plus a chunked-delta rollup chase",
+            _run_chase_stream,
         ),
         BenchFamily(
             "analysis-mfa",

@@ -1,5 +1,16 @@
 """Workload generators and curated scenarios."""
 
+from .factory import (
+    WorkloadSpec,
+    clear_workload_caches,
+    constraints_of,
+    dependencies_of,
+    generate_rows,
+    level_sizes,
+    materialize,
+    schema_of,
+    write_workload,
+)
 from .random_instances import random_instance, random_model
 from .random_tgds import random_schema, random_tgd, random_tgd_set
 from .scenarios import (
@@ -15,6 +26,9 @@ from .scenarios import (
 )
 
 __all__ = [
+    "WorkloadSpec", "clear_workload_caches", "constraints_of",
+    "dependencies_of", "generate_rows", "level_sizes", "materialize",
+    "schema_of", "write_workload",
     "random_instance", "random_model",
     "random_schema", "random_tgd", "random_tgd_set",
     "Scenario", "all_scenarios", "company_guarded", "example_5_2",

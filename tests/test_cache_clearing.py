@@ -24,6 +24,8 @@ from repro.instances import Instance
 from repro.lang import parse_facts, parse_tgds
 from repro.lang.schema import Schema
 from repro.perf.families import clear_engine_caches
+from repro.workloads import WorkloadSpec, generate_rows
+from repro.workloads.factory import _ZIPF_CDF as zipf_cache
 
 SCHEMA = Schema.of(("E", 2), ("P", 1), ("Q", 1))
 
@@ -52,6 +54,10 @@ def _populate_every_memo() -> None:
     )
     join_sigma = parse_tgds("E(x, y), P(x) -> Q(y)", SCHEMA)
     chase(db, join_sigma, plan="compiled", order="adaptive")
+    # workload factory Zipf inverse-CDF memo: one generated stream
+    # populates a table per (pool, skew) shape it draws from
+    for __ in generate_rows(WorkloadSpec(name="memo", facts=50)):
+        pass
 
 
 def _sizes() -> dict[str, int]:
@@ -62,6 +68,7 @@ def _sizes() -> dict[str, int]:
         "certificates": len(certificate_cache),
         "depgraphs": len(depgraph_cache),
         "semantic": len(semantic_cache),
+        "zipf_cdf": len(zipf_cache),
     }
 
 

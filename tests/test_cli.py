@@ -88,6 +88,83 @@ class TestChase:
             )
 
 
+@pytest.fixture
+def rollup_rules_file(tmp_path):
+    path = tmp_path / "rollup.txt"
+    path.write_text("L0(x, y), L1(y, z) -> A0(x, z)\n")
+    return str(path)
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    path = tmp_path / "w.stream"
+    assert main(
+        ["genworkload", str(path), "--facts", "300", "--levels", "2",
+         "--seed", "4"]
+    ) == 0
+    return str(path)
+
+
+class TestGenworkload:
+    def test_writes_stream_and_summary(self, tmp_path, capsys):
+        out = tmp_path / "w.stream"
+        assert main(
+            ["genworkload", str(out), "--facts", "250", "--seed", "9"]
+        ) == 0
+        line = capsys.readouterr().out
+        assert "wrote 250 facts" in line
+        assert "seed=9" in line
+        assert out.read_text().startswith("#repro-factstream v1 ")
+
+    def test_identical_seeds_identical_bytes(self, tmp_path, capsys):
+        a, b = tmp_path / "a.stream", tmp_path / "b.stream"
+        assert main(["genworkload", str(a), "--facts", "200"]) == 0
+        assert main(["genworkload", str(b), "--facts", "200"]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_bad_spec_fails_with_message(self, tmp_path, capsys):
+        out = tmp_path / "w.stream"
+        assert main(["genworkload", str(out), "--levels", "1"]) == 1
+        assert "levels" in capsys.readouterr().err
+
+
+class TestChaseFromStream:
+    def test_reaches_fixpoint_with_sizes_line(
+        self, rollup_rules_file, stream_file, capsys
+    ):
+        assert main(
+            ["chase", rollup_rules_file, stream_file, "--from-stream",
+             "--no-instance"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chase terminated" in out
+        assert "instance: " in out and "A0=" in out
+
+    def test_memory_budget_surfaces_cleanly(
+        self, rollup_rules_file, stream_file, capsys
+    ):
+        assert main(
+            ["chase", rollup_rules_file, stream_file, "--from-stream",
+             "--no-instance", "--max-memory-mb", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "budget exhausted (memory_budget)" in out
+        assert "0 rounds" in out
+
+    def test_delta_chunk_is_output_invariant(
+        self, rollup_rules_file, stream_file, capsys
+    ):
+        assert main(
+            ["chase", rollup_rules_file, stream_file, "--from-stream"]
+        ) == 0
+        reference = capsys.readouterr().out
+        assert main(
+            ["chase", rollup_rules_file, stream_file, "--from-stream",
+             "--delta-chunk", "17"]
+        ) == 0
+        assert capsys.readouterr().out == reference
+
+
 class TestEntails:
     def test_positive(self, rules_file, capsys):
         code = main(

@@ -37,6 +37,12 @@ from repro.dependencies.denial import DenialConstraint
 from repro.homomorphisms.isomorphism import are_isomorphic
 from repro.lang import Atom, Const, Fact, Var
 from repro.telemetry import TELEMETRY
+from repro.workloads import (
+    WorkloadSpec,
+    dependencies_of,
+    generate_rows,
+    schema_of,
+)
 from repro.workloads.random_instances import random_instance
 from repro.workloads.random_tgds import random_schema, random_tgd_set
 from repro.workloads.scenarios import all_scenarios
@@ -458,6 +464,81 @@ class TestRestrictedHotLoopRegression:
             f"restricted chase hot loop regressed: {result.fired} "
             f"triggers took {elapsed:.1f}s"
         )
+
+
+class TestStreamingAxis:
+    """Streamed ingestion is a construction detail the chase must not
+    observe: ``Instance.from_stream`` and ``Instance.from_facts`` over
+    the same factory rows must chase to bit-identical results — same
+    facts, same statistics, same engine counters — per backend, with
+    and without chunked-delta scheduling."""
+
+    SPEC = WorkloadSpec(name="diff", seed=17, facts=500, levels=3)
+
+    def _instances(self, backend):
+        rows = list(generate_rows(self.SPEC))
+        batch = Instance.from_facts(
+            schema_of(self.SPEC),
+            [Fact(rel, elements) for rel, elements in rows],
+        ).with_backend(backend)
+        streamed = Instance.from_stream(
+            iter(rows),
+            schema=schema_of(self.SPEC),
+            backend=backend,
+            batch_size=64,
+        )
+        return batch, streamed
+
+    @pytest.mark.parametrize("backend", ["object", "columnar"])
+    @pytest.mark.parametrize("strategy", ["naive", "seminaive"])
+    def test_streamed_chase_bit_identical(self, backend, strategy):
+        batch, streamed = self._instances(backend)
+        assert streamed == batch
+        deps = dependencies_of(self.SPEC)
+        reference = chase(batch, deps, backend=backend, strategy=strategy)
+        result = chase(streamed, deps, backend=backend, strategy=strategy)
+        assert result.stop_reason == reference.stop_reason
+        assert result.rounds == reference.rounds
+        assert result.fired == reference.fired
+        assert result.nulls_created == reference.nulls_created
+        assert result.instance == reference.instance
+
+    @pytest.mark.parametrize("backend", ["object", "columnar"])
+    def test_chunked_delta_matches_unchunked_reference(self, backend):
+        batch, streamed = self._instances(backend)
+        deps = dependencies_of(self.SPEC)
+        reference = chase(batch, deps, backend=backend)
+        chunked = chase(streamed, deps, backend=backend, delta_chunk=53)
+        assert chunked.successful
+        assert chunked.fired == reference.fired
+        assert chunked.instance == reference.instance
+
+    def test_streamed_kernel_stats_match_rebuilt(self):
+        batch, streamed = self._instances("columnar")
+        rebuilt = batch.columnar_kernel()
+        warm = streamed.columnar_kernel()
+        for rel in schema_of(self.SPEC):
+            assert warm.relation_stats(rel) == rebuilt.relation_stats(rel)
+
+    @pytest.mark.parametrize("backend", ["object", "columnar"])
+    def test_streamed_chase_counters_match(self, backend):
+        deps = dependencies_of(self.SPEC)
+        snapshots = []
+        for streamed in (False, True):
+            batch, stream = self._instances(backend)
+            db = stream if streamed else batch
+            TELEMETRY.reset()
+            TELEMETRY.enable(spans=False)
+            try:
+                chase(db, deps, backend=backend, max_rounds=8)
+                snapshots.append(TELEMETRY.snapshot())
+            finally:
+                TELEMETRY.disable()
+                TELEMETRY.reset()
+        for counter in TestCounterParity.SHARED_COUNTERS:
+            assert snapshots[0].get(counter, 0) == snapshots[1].get(
+                counter, 0
+            ), counter
 
 
 class TestStrategyApi:

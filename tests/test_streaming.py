@@ -1,0 +1,311 @@
+"""Streaming ingestion: fact-stream IO, bulk append, bounded chases.
+
+The contracts under test:
+
+* **Round-trip** — ``write_workload`` → :class:`FactStream` →
+  ``Instance.from_stream`` lands on the instance ``from_facts`` builds
+  from the same rows, on both backends (``==``, same kernel stats).
+* **Bulk append** — ``ColumnarStore.extend_rows`` is observationally
+  identical to a loop of per-fact ``append`` calls: same columns, same
+  buckets, same :class:`RelationStats`, in both dedup modes, for the
+  arity-2 fast path and the generic path.
+* **Bounded chase** — ``chase(..., max_memory_mb=)`` stops with a
+  clean ``StopReason.MEMORY`` under an impossible budget (without
+  paying the working-state bootstrap first) and is a no-op under a
+  generous one; ``delta_chunk`` changes scheduling, never the fixpoint.
+* **Telemetry** — ingestion records ``ingest.facts`` /
+  ``ingest.batches`` and an ``ingest.batch_ms`` histogram.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chase import ChaseError, StopReason, chase
+from repro.columnar.store import ColumnarStore
+from repro.instances import Instance
+from repro.instances.streaming import (
+    FactStream,
+    FactStreamError,
+    FactStreamWriter,
+)
+from repro.lang import Const, Fact
+from repro.lang.schema import Relation, Schema
+from repro.telemetry import TELEMETRY
+from repro.workloads import (
+    WorkloadSpec,
+    dependencies_of,
+    generate_rows,
+    materialize,
+    schema_of,
+    write_workload,
+)
+
+SPEC = WorkloadSpec(name="round", seed=11, facts=600, levels=3, skew=1.0)
+
+
+def _reference(spec: WorkloadSpec) -> Instance:
+    return Instance.from_facts(
+        schema_of(spec),
+        [Fact(rel, elements) for rel, elements in generate_rows(spec)],
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("backend", ["object", "columnar"])
+    def test_file_round_trip_equals_from_facts(self, tmp_path, backend):
+        path = tmp_path / "w.stream"
+        rows = write_workload(SPEC, path)
+        assert rows == SPEC.facts
+        stream = FactStream(path)
+        assert stream.schema == schema_of(SPEC)
+        loaded = Instance.from_stream(path, backend=backend)
+        assert loaded == _reference(SPEC)
+        assert loaded.backend == backend
+
+    @pytest.mark.parametrize("backend", ["object", "columnar"])
+    def test_materialize_equals_file_route(self, tmp_path, backend):
+        path = tmp_path / "w.stream"
+        write_workload(SPEC, path)
+        assert materialize(SPEC, backend=backend) == Instance.from_stream(
+            path, backend=backend
+        )
+
+    def test_small_batches_change_nothing(self):
+        assert materialize(SPEC, batch_size=7) == materialize(SPEC)
+
+    def test_streamed_kernel_is_warm_and_equivalent(self):
+        streamed = materialize(SPEC, backend="columnar")
+        # The kernel was built during ingestion — no lazy second pass.
+        assert streamed._columnar is not None
+        rebuilt = _reference(SPEC).with_backend("columnar")
+        kernel = rebuilt.columnar_kernel()
+        warm = streamed.columnar_kernel()
+        assert warm is streamed._columnar
+        for rel in schema_of(SPEC):
+            assert warm.relation_stats(rel) == kernel.relation_stats(rel)
+            assert set(warm.tuples(rel)) == set(kernel.tuples(rel))
+
+    def test_duplicate_rows_are_dropped(self):
+        schema = Schema.of(("R", 2))
+        rel = schema.relation("R")
+        row = (rel, (Const("a"), Const("b")))
+        for backend in ("object", "columnar"):
+            inst = Instance.from_stream(
+                [row, row, (rel, (Const("a"), Const("c"))), row],
+                schema=schema,
+                backend=backend,
+                batch_size=2,  # dup both within and across batches
+            )
+            assert len(inst.tuples("R")) == 2
+            assert inst.domain == frozenset(
+                {Const("a"), Const("b"), Const("c")}
+            )
+
+
+class TestExtendRows:
+    SCHEMA = Schema.of(("R", 2), ("T", 3), ("Z", 0))
+
+    def _rows(self, relation: Relation, n: int, dup_every: int = 0):
+        rows = []
+        for i in range(n):
+            base = i // dup_every * dup_every if dup_every else i
+            rows.append(
+                tuple(
+                    Const(f"e{base % 5}_{pos}" if pos else f"k{base}")
+                    for pos in range(relation.arity)
+                )
+            )
+        return rows
+
+    def _assert_stores_equal(self, left: ColumnarStore, right: ColumnarStore):
+        for rel in self.SCHEMA:
+            assert left.relation_stats(rel) == right.relation_stats(rel)
+            assert list(left.tuples(rel)) == list(right.tuples(rel))
+
+    @pytest.mark.parametrize("relname", ["R", "T"])
+    @pytest.mark.parametrize("assume_unique", [False, True])
+    def test_bulk_equals_per_fact_append(self, relname, assume_unique):
+        rel = self.SCHEMA.relation(relname)
+        rows = self._rows(rel, 40)
+        reference = ColumnarStore(self.SCHEMA.relations)
+        for row in rows:
+            reference.append(rel, row)
+        bulk = ColumnarStore(self.SCHEMA.relations)
+        added = 0
+        for start in range(0, len(rows), 7):
+            added += bulk.extend_rows(
+                rel, rows[start:start + 7], assume_unique=assume_unique
+            )
+        assert added == len(rows)
+        self._assert_stores_equal(bulk, reference)
+
+    def test_dedup_drops_in_batch_and_cross_batch_duplicates(self):
+        rel = self.SCHEMA.relation("R")
+        rows = self._rows(rel, 12, dup_every=3)  # each distinct row x3
+        store = ColumnarStore(self.SCHEMA.relations)
+        first = store.extend_rows(rel, rows)
+        again = store.extend_rows(rel, rows)
+        assert first == 4
+        assert again == 0
+        reference = ColumnarStore(self.SCHEMA.relations)
+        for row in dict.fromkeys(rows):
+            reference.append(rel, row)
+        self._assert_stores_equal(store, reference)
+
+    def test_empty_batch_is_a_noop(self):
+        store = ColumnarStore(self.SCHEMA.relations)
+        assert store.extend_rows(self.SCHEMA.relation("R"), []) == 0
+        assert store.relation_stats(self.SCHEMA.relation("R")).rows == 0
+
+
+class TestErrors:
+    def test_not_a_fact_stream(self, tmp_path):
+        path = tmp_path / "bad.stream"
+        path.write_text("R\ta\tb\n")
+        with pytest.raises(FactStreamError, match="header"):
+            FactStream(path)
+
+    def test_malformed_header_payload(self, tmp_path):
+        path = tmp_path / "bad.stream"
+        path.write_text("#repro-factstream v1 {\"nope\": 1}\n")
+        with pytest.raises(FactStreamError, match="malformed"):
+            FactStream(path)
+
+    def test_unknown_relation_row(self, tmp_path):
+        path = tmp_path / "bad.stream"
+        path.write_text(
+            '#repro-factstream v1 {"schema": {"R": 2}}\nS\ta\tb\n'
+        )
+        with pytest.raises(FactStreamError, match="unknown relation"):
+            list(FactStream(path))
+
+    def test_wrong_arity_row(self, tmp_path):
+        path = tmp_path / "bad.stream"
+        path.write_text(
+            '#repro-factstream v1 {"schema": {"R": 2}}\nR\ta\n'
+        )
+        with pytest.raises(FactStreamError, match="element"):
+            list(FactStream(path))
+
+    def test_writer_rejects_tab_in_name(self, tmp_path):
+        schema = Schema.of(("R", 1))
+        with FactStreamWriter(tmp_path / "w.stream", schema) as writer:
+            with pytest.raises(FactStreamError, match="tab/newline"):
+                writer.write(schema.relation("R"), (Const("a\tb"),))
+
+    def test_writer_rejects_non_const(self, tmp_path):
+        schema = Schema.of(("R", 1))
+        with FactStreamWriter(tmp_path / "w.stream", schema) as writer:
+            with pytest.raises(FactStreamError, match="ground Const"):
+                writer.write(schema.relation("R"), (42,))
+
+    def test_writer_rejects_foreign_relation_and_arity(self, tmp_path):
+        schema = Schema.of(("R", 2))
+        with FactStreamWriter(tmp_path / "w.stream", schema) as writer:
+            with pytest.raises(FactStreamError, match="not in the stream"):
+                writer.write(Relation("S", 1), (Const("a"),))
+            with pytest.raises(FactStreamError, match="arity"):
+                writer.write(schema.relation("R"), (Const("a"),))
+
+    def test_closed_writer_rejects_writes(self, tmp_path):
+        schema = Schema.of(("R", 1))
+        writer = FactStreamWriter(tmp_path / "w.stream", schema)
+        writer.close()
+        with pytest.raises(FactStreamError, match="closed"):
+            writer.write(schema.relation("R"), (Const("a"),))
+
+    def test_iterable_source_requires_schema(self):
+        with pytest.raises(FactStreamError, match="schema"):
+            Instance.from_stream(iter([]))
+
+    def test_bad_batch_size_and_backend(self):
+        schema = Schema.of(("R", 1))
+        with pytest.raises(FactStreamError, match="batch_size"):
+            Instance.from_stream([], schema=schema, batch_size=0)
+        with pytest.raises(Exception, match="backend"):
+            Instance.from_stream([], schema=schema, backend="gpu")
+
+    def test_iterable_rows_validated(self):
+        schema = Schema.of(("R", 2))
+        rel = schema.relation("R")
+        with pytest.raises(FactStreamError, match="arity"):
+            Instance.from_stream(
+                [(rel, (Const("a"),))], schema=schema
+            )
+        with pytest.raises(FactStreamError, match="not in the schema"):
+            Instance.from_stream(
+                [(Relation("S", 1), (Const("a"),))], schema=schema
+            )
+
+
+class TestIngestTelemetry:
+    def test_counters_and_histogram(self):
+        TELEMETRY.reset()
+        TELEMETRY.enable(spans=False)
+        try:
+            materialize(SPEC, backend="columnar", batch_size=100)
+            counters = TELEMETRY.snapshot()
+            histograms = TELEMETRY.histogram_snapshot()
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+        assert counters["ingest.facts"] == SPEC.facts
+        assert counters["ingest.batches"] == SPEC.facts // 100
+        assert histograms["ingest.batch_ms"].count == SPEC.facts // 100
+
+
+class TestBoundedChase:
+    def _workload(self, backend: str):
+        spec = WorkloadSpec(name="bc", seed=3, facts=400, levels=3)
+        return materialize(spec, backend=backend), dependencies_of(spec)
+
+    @pytest.mark.parametrize("backend", ["object", "columnar"])
+    def test_impossible_budget_stops_cleanly(self, backend):
+        db, deps = self._workload(backend)
+        result = chase(db, deps, backend=backend, max_memory_mb=1)
+        assert result.stop_reason == StopReason.MEMORY
+        assert not result.terminated and not result.failed
+        assert result.rounds == 0 and result.fired == 0
+        # The snapshot carries the input facts over the combined schema.
+        for rel in db.schema:
+            assert result.instance.tuples(rel) == db.tuples(rel)
+
+    @pytest.mark.parametrize("backend", ["object", "columnar"])
+    def test_generous_budget_reaches_fixpoint(self, backend):
+        db, deps = self._workload(backend)
+        bounded = chase(db, deps, backend=backend, max_memory_mb=1 << 20)
+        unbounded = chase(db, deps, backend=backend)
+        assert bounded.stop_reason == StopReason.FIXPOINT
+        assert bounded.instance == unbounded.instance
+
+    @pytest.mark.parametrize("backend", ["object", "columnar"])
+    @pytest.mark.parametrize("chunk", [1, 37, 100_000])
+    def test_delta_chunk_preserves_fixpoint(self, backend, chunk):
+        db, deps = self._workload(backend)
+        chunked = chase(db, deps, backend=backend, delta_chunk=chunk)
+        reference = chase(db, deps, backend=backend)
+        assert chunked.successful
+        assert chunked.instance == reference.instance
+        assert chunked.fired == reference.fired
+
+    def test_delta_chunk_requires_seminaive(self):
+        db, deps = self._workload("object")
+        with pytest.raises(ChaseError, match="seminaive"):
+            chase(db, deps, strategy="naive", delta_chunk=8)
+        with pytest.raises(ChaseError, match="delta_chunk"):
+            chase(db, deps, delta_chunk=0)
+
+    def test_memory_stop_counts_telemetry(self):
+        db, deps = self._workload("columnar")
+        TELEMETRY.reset()
+        TELEMETRY.enable(spans=False)
+        try:
+            chase(db, deps, backend="columnar", max_memory_mb=1)
+            counters = TELEMETRY.snapshot()
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+        assert counters["chase.runs"] == 1
+        assert counters["chase.budget_exhausted"] == 1
+        assert counters["chase.memory_stops"] == 1
